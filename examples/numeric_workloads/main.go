@@ -1,0 +1,37 @@
+// Numeric workloads: reproduce the Section-6.2 comparison — PostgreSQL
+// histograms vs MSCN vs the tree model — on the JOB-light, Synthetic and
+// Scale workloads with numeric predicates only (Tables 7 and 8 of the
+// paper), at a reduced scale that runs in about a minute.
+//
+//	go run ./examples/numeric_workloads
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"costest/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	cfg := experiments.Small()
+	cfg.Scale = 0.03
+	cfg.TrainNumeric = 300
+	cfg.TestSynthetic = 80
+	cfg.TestScale = 60
+	cfg.TestJOBLight = 30
+	cfg.Epochs = 8
+
+	start := time.Now()
+	env := experiments.NewEnv(cfg)
+	log.Printf("environment ready: %d rows (%.1fs)", env.DB.TotalRows(), time.Since(start).Seconds())
+
+	res, err := env.RunNumeric()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(experiments.ReportNumeric(res))
+	log.Printf("done in %.1fs", time.Since(start).Seconds())
+}

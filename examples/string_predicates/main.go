@@ -1,0 +1,90 @@
+// String predicates: walk the Section-5 pipeline step by step — workload
+// string collection, candidate rule generation (Tables 4-5), greedy budgeted
+// selection (Algorithm 1), skip-gram training over per-tuple sentences, and
+// trie-backed online lookup of unseen LIKE patterns.
+//
+//	go run ./examples/string_predicates
+package main
+
+import (
+	"fmt"
+
+	"costest/internal/dataset"
+	"costest/internal/strembed"
+)
+
+func main() {
+	db := dataset.GenerateIMDB(dataset.Config{Seed: 1, Scale: 0.05})
+
+	// The workload's string literals (S_W), scoped to their columns: the
+	// note-pattern family from the paper's running JOB example.
+	ws := []strembed.WorkloadString{
+		{Table: "movie_companies", Column: "note", S: "(co-production)", Kind: strembed.MatchContains},
+		{Table: "movie_companies", Column: "note", S: "(presents)", Kind: strembed.MatchContains},
+		{Table: "movie_companies", Column: "note", S: "(as ", Kind: strembed.MatchContains},
+		{Table: "movie_companies", Column: "note", S: "(TV)", Kind: strembed.MatchContains},
+		{Table: "company_type", Column: "kind", S: "production companies", Kind: strembed.MatchExact},
+		{Table: "info_type", Column: "info", S: "top 250 rank", Kind: strembed.MatchExact},
+		{Table: "aka_title", Column: "title", S: "Ka", Kind: strembed.MatchPrefix},
+	}
+
+	// Candidate rules for one (query string, tuple value) pair, as in
+	// Table 4 of the paper.
+	notes := db.Table("movie_companies").StrColumn("note")
+	var example string
+	for _, n := range notes {
+		if len(n) > 6 && n == "(co-production)" {
+			example = n
+			break
+		}
+	}
+	if example != "" {
+		cands := strembed.CandidateRules(ws[0], example)
+		fmt.Printf("candidate rules for %q in %q (%d total, first 5):\n", ws[0].S, example, len(cands))
+		for i, r := range cands {
+			if i == 5 {
+				break
+			}
+			fmt.Printf("  %s\n", r)
+		}
+	}
+
+	// Full build: rule selection + skip-gram + tries.
+	cfg := strembed.DefaultConfig()
+	cfg.Dim = 24
+	cfg.MaxValuesPerColumn = 4000
+	emb := strembed.Build(db, ws, cfg)
+	fmt.Printf("\nselected %d rules; dictionary holds %d substrings\n", len(emb.Rules), emb.DictSize)
+	for i, r := range emb.Rules {
+		if i == 5 {
+			fmt.Println("  ...")
+			break
+		}
+		fmt.Printf("  rule: %s\n", r)
+	}
+
+	// Online lookups: known patterns, unseen-but-prefixed patterns, OOV.
+	patterns := []string{
+		"%(co-production)%",
+		"%(presents)%",
+		"top 250 rank",
+		"Ka%", // prefix search resolved by the trie
+		"%(TV)%",
+		"zzzz-unknown", // out of vocabulary
+	}
+	fmt.Println("\nonline pattern lookups (vector L2 norms; 0 = unknown):")
+	for _, p := range patterns {
+		v := emb.Embed(p)
+		var norm float64
+		for _, x := range v {
+			norm += x * x
+		}
+		fmt.Printf("  %-22s |v| = %.3f\n", p, norm)
+	}
+
+	// Co-occurrence: notes that appear in similar company contexts embed
+	// closer than unrelated literals.
+	hash := strembed.HashEmbedder{DimN: 24}
+	fmt.Printf("\nhash-bitmap baseline for comparison: |%q| bits = %v...\n",
+		"(co-production)", hash.Embed("(co-production)")[:8])
+}

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"costest/internal/feature"
+	"costest/internal/nn"
+	"costest/internal/tensor"
+)
+
+// headGrad carries per-node loss gradients w.r.t. the sigmoid head outputs.
+type headGrad struct {
+	dCostS, dCardS float64
+}
+
+// forwardTrain runs a full forward pass evaluating the estimation heads at
+// every node, which training (and sub-plan supervision) needs.
+func (m *Model) forwardTrain(ep *feature.EncodedPlan) *planState {
+	st := &planState{nodes: make([]*nodeState, len(ep.Nodes))}
+	m.forwardNode(ep, ep.Root, st, nil)
+	for _, ns := range st.nodes {
+		m.forwardHeads(ns)
+	}
+	return st
+}
+
+// backwardPlan backpropagates head gradients through the whole tree,
+// accumulating parameter gradients into m.PS.
+func (m *Model) backwardPlan(ep *feature.EncodedPlan, st *planState, hg []headGrad) {
+	dG := make([]float64, m.Cfg.Hidden)
+	dR := make([]float64, m.Cfg.Hidden)
+	m.backwardNode(ep, ep.Root, st, hg, dG, dR)
+}
+
+// backwardNode handles one node: estimation heads, representation unit,
+// embedding layer, then recursion into children. dG/dR are the upstream
+// gradients w.r.t. this node's outputs (owned by the caller).
+func (m *Model) backwardNode(ep *feature.EncodedPlan, idx int, st *planState, hg []headGrad, dG, dR []float64) {
+	node := &ep.Nodes[idx]
+	ns := st.nodes[idx]
+
+	// Estimation heads contribute into dR.
+	if hg != nil && (hg[idx].dCostS != 0 || hg[idx].dCardS != 0) {
+		m.backwardHeads(ns, hg[idx], dR)
+	}
+
+	var dE []float64
+	var dGl, dRl, dGr, dRr []float64
+	if node.Left >= 0 {
+		dGl = make([]float64, m.Cfg.Hidden)
+		dRl = make([]float64, m.Cfg.Hidden)
+	}
+	if node.Right >= 0 {
+		dGr = make([]float64, m.Cfg.Hidden)
+		dRr = make([]float64, m.Cfg.Hidden)
+	}
+
+	switch m.Cfg.Rep {
+	case RepLSTM:
+		dE = make([]float64, m.embedDim())
+		m.repCell.backward(ns.cell, dG, dR, dE, dGl, dRl, dGr, dRr)
+	case RepNN:
+		// R = ReLU(W·[E, Rl, Rr] + b).
+		d := make([]float64, m.Cfg.Hidden)
+		copy(d, dR)
+		nn.ReLUBackwardInPlace(d, ns.r)
+		dz := make([]float64, len(ns.nnZ))
+		m.repNN.Backward(dz, d, ns.nnZ)
+		dE = dz[:m.embedDim()]
+		if dRl != nil {
+			tensor.AddTo(dRl, dz[m.embedDim():m.embedDim()+m.Cfg.Hidden])
+		}
+		if dRr != nil {
+			tensor.AddTo(dRr, dz[m.embedDim()+m.Cfg.Hidden:])
+		}
+	}
+
+	m.backwardEmbed(node, ns, dE)
+
+	if node.Left >= 0 {
+		m.backwardNode(ep, node.Left, st, hg, dGl, dRl)
+	}
+	if node.Right >= 0 {
+		m.backwardNode(ep, node.Right, st, hg, dGr, dRr)
+	}
+}
+
+// backwardHeads backpropagates the two estimation heads, adding the trunk
+// gradient into dR.
+func (m *Model) backwardHeads(ns *nodeState, hg headGrad, dR []float64) {
+	tmp := make([]float64, m.Cfg.EstHidden)
+	rGrad := make([]float64, m.Cfg.Hidden)
+	if hg.dCostS != 0 {
+		dPre := hg.dCostS * ns.costS * (1 - ns.costS)
+		m.costO.Backward(tmp, []float64{dPre}, ns.costHOut)
+		nn.ReLUBackwardInPlace(tmp, ns.costHOut)
+		m.costH.Backward(rGrad, tmp, ns.r)
+		tensor.AddTo(dR, rGrad)
+	}
+	if hg.dCardS != 0 {
+		dPre := hg.dCardS * ns.cardS * (1 - ns.cardS)
+		m.cardO.Backward(tmp, []float64{dPre}, ns.cardHOut)
+		nn.ReLUBackwardInPlace(tmp, ns.cardHOut)
+		m.cardH.Backward(rGrad, tmp, ns.r)
+		tensor.AddTo(dR, rGrad)
+	}
+}
+
+// backwardEmbed splits dE into the feature segments and backpropagates each
+// embedding sublayer.
+func (m *Model) backwardEmbed(node *feature.EncodedNode, ns *nodeState, dE []float64) {
+	off := 0
+	dOp := dE[off : off+m.eOp]
+	off += m.eOp
+	dMeta := dE[off : off+m.eMeta]
+	off += m.eMeta
+	var dBm []float64
+	if m.bmL != nil {
+		dBm = dE[off : off+m.eBm]
+		off += m.eBm
+	}
+	dPred := dE[off : off+m.ePred]
+
+	nn.ReLUBackwardInPlace(dOp, ns.opOut)
+	m.opL.Backward(nil, dOp, node.Op)
+
+	nn.ReLUBackwardInPlace(dMeta, ns.metaOut)
+	m.metaL.Backward(nil, dMeta, node.Meta)
+
+	if m.bmL != nil {
+		nn.ReLUBackwardInPlace(dBm, ns.bmOut)
+		bm := node.Bitmap
+		if bm == nil {
+			bm = make([]float64, m.Enc.BitmapDim())
+		}
+		m.bmL.Backward(nil, dBm, bm)
+	}
+
+	if !node.Pred.Empty() {
+		m.backwardPred(&node.Pred, 0, ns, dPred)
+	}
+}
+
+// backwardPred backpropagates the predicate embedding for the subtree at
+// pidx with upstream gradient d (not owned; treated read-only for pooling
+// routing, consumed for the LSTM variant).
+func (m *Model) backwardPred(ep *feature.EncodedPred, pidx int, ns *nodeState, d []float64) {
+	pn := &ep.Nodes[pidx]
+	switch m.Cfg.Pred {
+	case PredPool, PredPoolMean:
+		if pn.IsLeaf {
+			// Linear leaf: gradient goes straight to W_p, b_p.
+			m.predLeaf.Backward(nil, d, pn.Vec)
+			return
+		}
+		l := ns.pred[pn.Left].out
+		r := ns.pred[pn.Right].out
+		dl := make([]float64, m.ePred)
+		dr := make([]float64, m.ePred)
+		if m.Cfg.Pred == PredPoolMean {
+			// Mean pooling splits the gradient evenly.
+			for i := range d {
+				dl[i] = d[i] / 2
+				dr[i] = d[i] / 2
+			}
+		} else {
+			// Min/max pooling routes each gradient component to the winning
+			// child (ties go left).
+			for i := range d {
+				takeLeft := l[i] <= r[i]
+				if pn.Bool != 0 { // OR → max pooling
+					takeLeft = l[i] >= r[i]
+				}
+				if takeLeft {
+					dl[i] = d[i]
+				} else {
+					dr[i] = d[i]
+				}
+			}
+		}
+		m.backwardPred(ep, pn.Left, ns, dl)
+		m.backwardPred(ep, pn.Right, ns, dr)
+	default: // PredLSTM
+		dG := make([]float64, m.ePred)
+		dR := make([]float64, m.ePred)
+		copy(dR, d)
+		m.backwardPredCell(ep, pidx, ns, dG, dR)
+	}
+}
+
+// backwardPredCell recursively backpropagates the predicate tree-LSTM.
+func (m *Model) backwardPredCell(ep *feature.EncodedPred, pidx int, ns *nodeState, dG, dR []float64) {
+	pn := &ep.Nodes[pidx]
+	ps := ns.pred[pidx]
+	var dGl, dRl, dGr, dRr []float64
+	if pn.Left >= 0 {
+		dGl = make([]float64, m.ePred)
+		dRl = make([]float64, m.ePred)
+	}
+	if pn.Right >= 0 {
+		dGr = make([]float64, m.ePred)
+		dRr = make([]float64, m.ePred)
+	}
+	// Input features are data, not parameters: dx = nil.
+	m.predCell.backward(ps.cell, dG, dR, nil, dGl, dRl, dGr, dRr)
+	if pn.Left >= 0 {
+		m.backwardPredCell(ep, pn.Left, ns, dGl, dRl)
+	}
+	if pn.Right >= 0 {
+		m.backwardPredCell(ep, pn.Right, ns, dGr, dRr)
+	}
+}

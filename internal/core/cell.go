@@ -1,0 +1,159 @@
+package core
+
+import (
+	"math/rand"
+
+	"costest/internal/nn"
+	"costest/internal/tensor"
+)
+
+// lstmCell is the representation unit of Section 4.2.2:
+//
+//	G_{t-1} = (G^l + G^r)/2        R_{t-1} = (R^l + R^r)/2
+//	f  = σ(W_f·[R_{t-1}, x] + b_f)
+//	k1 = σ(W_{k1}·[R_{t-1}, x] + b_{k1})
+//	r  = tanh(W_r·[R_{t-1}, x] + b_r)
+//	k2 = σ(W_{k2}·[R_{t-1}, x] + b_{k2})
+//	G_t = f ⊙ G_{t-1} + k1 ⊙ r     R_t = k2 ⊙ tanh(G_t)
+//
+// The G channel carries long-range information up the plan tree without
+// repeated multiplication, addressing gradient vanishing (the paper's
+// information-vanishing argument).
+type lstmCell struct {
+	dh, dx           int
+	wf, wk1, wr, wk2 *nn.Linear
+}
+
+func newLSTMCell(ps *nn.ParamSet, name string, dh, dx int, rng *rand.Rand) *lstmCell {
+	in := dh + dx
+	return &lstmCell{
+		dh: dh, dx: dx,
+		wf:  nn.NewLinear(ps, name+".f", in, dh, rng),
+		wk1: nn.NewLinear(ps, name+".k1", in, dh, rng),
+		wr:  nn.NewLinear(ps, name+".r", in, dh, rng),
+		wk2: nn.NewLinear(ps, name+".k2", in, dh, rng),
+	}
+}
+
+// cellState caches one forward evaluation for backprop.
+type cellState struct {
+	z            []float64 // [Rprev, x]
+	gPrev, rPrev []float64
+	f, k1, r, k2 []float64
+	g, tG, rOut  []float64 // G_t, tanh(G_t), R_t
+}
+
+func (c *lstmCell) newState() *cellState {
+	return &cellState{
+		z:     make([]float64, c.dh+c.dx),
+		gPrev: make([]float64, c.dh),
+		rPrev: make([]float64, c.dh),
+		f:     make([]float64, c.dh),
+		k1:    make([]float64, c.dh),
+		r:     make([]float64, c.dh),
+		k2:    make([]float64, c.dh),
+		g:     make([]float64, c.dh),
+		tG:    make([]float64, c.dh),
+		rOut:  make([]float64, c.dh),
+	}
+}
+
+// forward computes (G_t, R_t) into st. Children states may be nil (leaves),
+// meaning zero vectors.
+func (c *lstmCell) forward(st *cellState, x, gl, rl, gr, rr []float64) {
+	for i := 0; i < c.dh; i++ {
+		var g, r float64
+		if gl != nil {
+			g += gl[i]
+			r += rl[i]
+		}
+		if gr != nil {
+			g += gr[i]
+			r += rr[i]
+		}
+		st.gPrev[i] = g / 2
+		st.rPrev[i] = r / 2
+	}
+	copy(st.z[:c.dh], st.rPrev)
+	copy(st.z[c.dh:], x)
+
+	pre := st.f // reuse buffers: compute pre-activation then overwrite
+	c.wf.Forward(pre, st.z)
+	nn.Sigmoid(st.f, pre)
+	c.wk1.Forward(st.k1, st.z)
+	nn.Sigmoid(st.k1, st.k1)
+	c.wr.Forward(st.r, st.z)
+	nn.Tanh(st.r, st.r)
+	c.wk2.Forward(st.k2, st.z)
+	nn.Sigmoid(st.k2, st.k2)
+
+	for i := 0; i < c.dh; i++ {
+		st.g[i] = st.f[i]*st.gPrev[i] + st.k1[i]*st.r[i]
+	}
+	nn.Tanh(st.tG, st.g)
+	for i := 0; i < c.dh; i++ {
+		st.rOut[i] = st.k2[i] * st.tG[i]
+	}
+}
+
+// backward consumes upstream gradients (dG, dR) w.r.t. (G_t, R_t) and
+// accumulates parameter gradients, writing input gradients into dx and the
+// children's (dGl, dRl, dGr, dRr) accumulators (added, not overwritten).
+// Any output pointer may be nil.
+func (c *lstmCell) backward(st *cellState, dG, dR, dx, dGl, dRl, dGr, dRr []float64) {
+	dh := c.dh
+	// R = k2 ⊙ tanh(G)
+	dk2 := make([]float64, dh)
+	dGTotal := make([]float64, dh)
+	for i := 0; i < dh; i++ {
+		dk2[i] = dR[i] * st.tG[i]
+		dT := dR[i] * st.k2[i]
+		dGTotal[i] = dG[i] + dT*(1-st.tG[i]*st.tG[i])
+	}
+	// G = f⊙Gprev + k1⊙r
+	df := make([]float64, dh)
+	dk1 := make([]float64, dh)
+	dr := make([]float64, dh)
+	dGprev := make([]float64, dh)
+	for i := 0; i < dh; i++ {
+		df[i] = dGTotal[i] * st.gPrev[i]
+		dGprev[i] = dGTotal[i] * st.f[i]
+		dk1[i] = dGTotal[i] * st.r[i]
+		dr[i] = dGTotal[i] * st.k1[i]
+	}
+	// Through the gate nonlinearities.
+	for i := 0; i < dh; i++ {
+		df[i] *= st.f[i] * (1 - st.f[i])
+		dk1[i] *= st.k1[i] * (1 - st.k1[i])
+		dr[i] *= 1 - st.r[i]*st.r[i]
+		dk2[i] *= st.k2[i] * (1 - st.k2[i])
+	}
+	// Through the four linears; accumulate dz.
+	dz := make([]float64, dh+c.dx)
+	tmp := make([]float64, dh+c.dx)
+	c.wf.Backward(tmp, df, st.z)
+	tensor.AddTo(dz, tmp)
+	c.wk1.Backward(tmp, dk1, st.z)
+	tensor.AddTo(dz, tmp)
+	c.wr.Backward(tmp, dr, st.z)
+	tensor.AddTo(dz, tmp)
+	c.wk2.Backward(tmp, dk2, st.z)
+	tensor.AddTo(dz, tmp)
+
+	if dx != nil {
+		tensor.AddTo(dx, dz[dh:])
+	}
+	// Rprev = (Rl+Rr)/2, Gprev = (Gl+Gr)/2.
+	for i := 0; i < dh; i++ {
+		dRp := dz[i] / 2
+		dGp := dGprev[i] / 2
+		if dRl != nil {
+			dRl[i] += dRp
+			dGl[i] += dGp
+		}
+		if dRr != nil {
+			dRr[i] += dRp
+			dGr[i] += dGp
+		}
+	}
+}

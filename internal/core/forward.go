@@ -1,0 +1,234 @@
+package core
+
+import (
+	"costest/internal/feature"
+	"costest/internal/nn"
+	"costest/internal/tensor"
+)
+
+// predState caches one predicate-tree node's forward pass.
+type predState struct {
+	out []float64
+	// cell is set for the tree-LSTM predicate variant.
+	cell *cellState
+}
+
+// nodeState caches one plan node's forward pass.
+type nodeState struct {
+	opOut, metaOut, bmOut []float64
+	pred                  []*predState // aligned with Pred.Nodes
+	predOut               []float64    // root predicate embedding (zero when no predicate)
+	e                     []float64    // concatenated embedding E
+
+	cell *cellState // RepLSTM
+	nnZ  []float64  // RepNN input [E, Rl, Rr]
+	g, r []float64  // representation outputs (views into cell or owned)
+
+	// Estimation head caches (populated when the head is evaluated).
+	costHOut, cardHOut []float64
+	costS, cardS       float64
+}
+
+// planState is the forward cache for one encoded plan.
+type planState struct {
+	nodes []*nodeState
+}
+
+// Estimate runs the model over an encoded plan and returns denormalized
+// estimates: the cost at the root, and the cardinality at the topmost
+// non-aggregate node (aggregates always emit one row, so the query's
+// cardinality is defined below them).
+func (m *Model) Estimate(ep *feature.EncodedPlan) (cost, card float64) {
+	st := m.forward(ep, nil)
+	return m.readEstimates(ep, st, nil)
+}
+
+// EstimateWithPool is Estimate with a representation memory pool: sub-plans
+// already in the pool reuse their stored representations, and new sub-plan
+// representations are inserted (the paper's online workflow, Section 3).
+func (m *Model) EstimateWithPool(ep *feature.EncodedPlan, pool *MemoryPool) (cost, card float64) {
+	st := m.forward(ep, pool)
+	return m.readEstimates(ep, st, pool)
+}
+
+// forward computes representations bottom-up. When pool is non-nil, node
+// representations are fetched/stored by subtree signature.
+func (m *Model) forward(ep *feature.EncodedPlan, pool *MemoryPool) *planState {
+	st := &planState{nodes: make([]*nodeState, len(ep.Nodes))}
+	m.forwardNode(ep, ep.Root, st, pool)
+	return st
+}
+
+// readEstimates evaluates the heads at the root (cost) and the cardinality
+// node (card). When the cardinality node was skipped because an enclosing
+// sub-plan came from the pool, its representation is fetched by signature.
+func (m *Model) readEstimates(ep *feature.EncodedPlan, st *planState, pool *MemoryPool) (cost, card float64) {
+	root := st.nodes[ep.Root]
+	m.forwardHeads(root)
+	cardNS := root
+	if ep.CardNode != ep.Root {
+		cardNS = st.nodes[ep.CardNode]
+		if cardNS == nil && pool != nil {
+			if _, r, ok := pool.Get(ep.Nodes[ep.CardNode].Sig); ok {
+				cardNS = &nodeState{r: r}
+			}
+		}
+		if cardNS == nil {
+			cardNS = root // should not happen; degrade gracefully
+		}
+		if cardNS != root {
+			m.forwardHeads(cardNS)
+		}
+	}
+	return m.CostNorm.Denormalize(root.costS), m.CardNorm.Denormalize(cardNS.cardS)
+}
+
+// forwardNode evaluates the subtree rooted at idx and returns its state.
+func (m *Model) forwardNode(ep *feature.EncodedPlan, idx int, st *planState, pool *MemoryPool) *nodeState {
+	node := &ep.Nodes[idx]
+	ns := &nodeState{}
+	st.nodes[idx] = ns
+
+	if pool != nil {
+		if g, r, ok := pool.Get(node.Sig); ok {
+			ns.g, ns.r = g, r
+			return ns
+		}
+	}
+
+	var gl, rl, gr, rr []float64
+	if node.Left >= 0 {
+		c := m.forwardNode(ep, node.Left, st, pool)
+		gl, rl = c.g, c.r
+	}
+	if node.Right >= 0 {
+		c := m.forwardNode(ep, node.Right, st, pool)
+		gr, rr = c.g, c.r
+	}
+
+	m.embedNode(node, ns)
+
+	switch m.Cfg.Rep {
+	case RepLSTM:
+		ns.cell = m.repCell.newState()
+		m.repCell.forward(ns.cell, ns.e, gl, rl, gr, rr)
+		ns.g, ns.r = ns.cell.g, ns.cell.rOut
+	case RepNN:
+		// Naive unit: R = ReLU(W·[E, Rl, Rr] + b); no long-memory channel.
+		ns.nnZ = make([]float64, m.embedDim()+2*m.Cfg.Hidden)
+		copy(ns.nnZ, ns.e)
+		if rl != nil {
+			copy(ns.nnZ[m.embedDim():], rl)
+		}
+		if rr != nil {
+			copy(ns.nnZ[m.embedDim()+m.Cfg.Hidden:], rr)
+		}
+		ns.r = make([]float64, m.Cfg.Hidden)
+		m.repNN.Forward(ns.r, ns.nnZ)
+		nn.ReLU(ns.r, ns.r)
+		ns.g = make([]float64, m.Cfg.Hidden) // unused channel stays zero
+	}
+
+	if pool != nil {
+		pool.Put(node.Sig, ns.g, ns.r)
+	}
+	return ns
+}
+
+// embedNode runs the embedding layer for one plan node.
+func (m *Model) embedNode(node *feature.EncodedNode, ns *nodeState) {
+	ns.opOut = make([]float64, m.eOp)
+	m.opL.Forward(ns.opOut, node.Op)
+	nn.ReLU(ns.opOut, ns.opOut)
+
+	ns.metaOut = make([]float64, m.eMeta)
+	m.metaL.Forward(ns.metaOut, node.Meta)
+	nn.ReLU(ns.metaOut, ns.metaOut)
+
+	if m.bmL != nil {
+		ns.bmOut = make([]float64, m.eBm)
+		bm := node.Bitmap
+		if bm == nil {
+			bm = make([]float64, m.Enc.BitmapDim())
+		}
+		m.bmL.Forward(ns.bmOut, bm)
+		nn.ReLU(ns.bmOut, ns.bmOut)
+	}
+
+	ns.predOut = make([]float64, m.ePred)
+	if !node.Pred.Empty() {
+		ns.pred = make([]*predState, len(node.Pred.Nodes))
+		root := m.forwardPred(&node.Pred, 0, ns)
+		copy(ns.predOut, root)
+	}
+
+	ns.e = make([]float64, m.embedDim())
+	if m.bmL != nil {
+		tensor.Concat(ns.e, ns.opOut, ns.metaOut, ns.bmOut, ns.predOut)
+	} else {
+		tensor.Concat(ns.e, ns.opOut, ns.metaOut, ns.predOut)
+	}
+}
+
+// forwardPred embeds the predicate subtree at pidx, returning its vector.
+func (m *Model) forwardPred(ep *feature.EncodedPred, pidx int, ns *nodeState) []float64 {
+	pn := &ep.Nodes[pidx]
+	ps := &predState{}
+	ns.pred[pidx] = ps
+
+	switch m.Cfg.Pred {
+	case PredPool, PredPoolMean:
+		if pn.IsLeaf {
+			// Leaf: W_p·x + b_p (linear, per the paper's formulation).
+			ps.out = make([]float64, m.ePred)
+			m.predLeaf.Forward(ps.out, pn.Vec)
+			return ps.out
+		}
+		l := m.forwardPred(ep, pn.Left, ns)
+		r := m.forwardPred(ep, pn.Right, ns)
+		ps.out = make([]float64, m.ePred)
+		switch {
+		case m.Cfg.Pred == PredPoolMean: // ablation: connective-blind mean
+			tensor.Mean(ps.out, l, r)
+		case pn.Bool == 0: // AND → min pooling
+			tensor.MinInto(ps.out, l, r)
+		default: // OR → max pooling
+			tensor.MaxInto(ps.out, l, r)
+		}
+		return ps.out
+	default: // PredLSTM: run the cell over the predicate tree.
+		var gl, rl, gr, rr []float64
+		if pn.Left >= 0 {
+			m.forwardPred(ep, pn.Left, ns)
+			c := ns.pred[pn.Left].cell
+			gl, rl = c.g, c.rOut
+		}
+		if pn.Right >= 0 {
+			m.forwardPred(ep, pn.Right, ns)
+			c := ns.pred[pn.Right].cell
+			gr, rr = c.g, c.rOut
+		}
+		ps.cell = m.predCell.newState()
+		m.predCell.forward(ps.cell, pn.Vec, gl, rl, gr, rr)
+		ps.out = ps.cell.rOut
+		return ps.out
+	}
+}
+
+// forwardHeads evaluates the estimation layer on a node's representation.
+func (m *Model) forwardHeads(ns *nodeState) {
+	ns.costHOut = make([]float64, m.Cfg.EstHidden)
+	m.costH.Forward(ns.costHOut, ns.r)
+	nn.ReLU(ns.costHOut, ns.costHOut)
+	out := []float64{0}
+	m.costO.Forward(out, ns.costHOut)
+	nn.Sigmoid(out, out)
+	ns.costS = out[0]
+
+	ns.cardHOut = make([]float64, m.Cfg.EstHidden)
+	m.cardH.Forward(ns.cardHOut, ns.r)
+	nn.ReLU(ns.cardHOut, ns.cardHOut)
+	m.cardO.Forward(out, ns.cardHOut)
+	nn.Sigmoid(out, out)
+	ns.cardS = out[0]
+}

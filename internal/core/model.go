@@ -1,0 +1,87 @@
+package core
+
+import (
+	"io"
+	"math/rand"
+
+	"costest/internal/feature"
+	"costest/internal/nn"
+)
+
+// Model is the tree-structured cost/cardinality estimator.
+type Model struct {
+	Cfg Config
+	Enc *feature.Encoder
+	PS  *nn.ParamSet
+
+	// Actual embedding segment widths (bitmap may be absent).
+	eOp, eMeta, eBm, ePred int
+
+	// Embedding layer (Section 4.2.1): one FC+ReLU per simple feature.
+	opL, metaL, bmL *nn.Linear
+	// Predicate embedding: leaf FC for the pooling variant, or a tree-LSTM.
+	predLeaf *nn.Linear
+	predCell *lstmCell
+
+	// Representation layer (Section 4.2.2).
+	repCell *lstmCell
+	repNN   *nn.Linear
+
+	// Estimation layer (Section 4.2.3): two heads sharing the trunk.
+	costH, costO, cardH, cardO *nn.Linear
+
+	// Target normalizers (min-max in log space, Section 4.3).
+	CostNorm nn.Normalizer
+	CardNorm nn.Normalizer
+}
+
+// New builds a model wired to the encoder's feature dimensions.
+func New(cfg Config, enc *feature.Encoder) *Model {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ps := nn.NewParamSet()
+	m := &Model{Cfg: cfg, Enc: enc, PS: ps}
+
+	m.eOp, m.eMeta, m.ePred = cfg.OpEmbed, cfg.MetaEmbed, cfg.PredEmbed
+	m.opL = nn.NewLinear(ps, "embed.op", enc.OpDim(), cfg.OpEmbed, rng)
+	m.metaL = nn.NewLinear(ps, "embed.meta", enc.MetaDim(), cfg.MetaEmbed, rng)
+	if enc.BitmapDim() > 0 {
+		m.eBm = cfg.BitmapEmbed
+		m.bmL = nn.NewLinear(ps, "embed.bitmap", enc.BitmapDim(), cfg.BitmapEmbed, rng)
+	}
+	switch cfg.Pred {
+	case PredPool, PredPoolMean:
+		m.predLeaf = nn.NewLinear(ps, "embed.predleaf", enc.AtomDim(), cfg.PredEmbed, rng)
+	case PredLSTM:
+		m.predCell = newLSTMCell(ps, "embed.predlstm", cfg.PredEmbed, enc.AtomDim(), rng)
+	}
+
+	switch cfg.Rep {
+	case RepLSTM:
+		m.repCell = newLSTMCell(ps, "rep", cfg.Hidden, m.embedDim(), rng)
+	case RepNN:
+		m.repNN = nn.NewLinear(ps, "rep.nn", m.embedDim()+2*cfg.Hidden, cfg.Hidden, rng)
+	}
+
+	m.costH = nn.NewLinear(ps, "est.cost.h", cfg.Hidden, cfg.EstHidden, rng)
+	m.costO = nn.NewLinear(ps, "est.cost.o", cfg.EstHidden, 1, rng)
+	m.cardH = nn.NewLinear(ps, "est.card.h", cfg.Hidden, cfg.EstHidden, rng)
+	m.cardO = nn.NewLinear(ps, "est.card.o", cfg.EstHidden, 1, rng)
+
+	// Default normalizers; Trainer.Fit replaces them from training targets.
+	m.CostNorm = nn.NewNormalizer([]float64{1, 1e6})
+	m.CardNorm = nn.NewNormalizer([]float64{1, 1e8})
+	return m
+}
+
+// embedDim returns the concatenated embedding width E for this model.
+func (m *Model) embedDim() int { return m.eOp + m.eMeta + m.eBm + m.ePred }
+
+// NumParams returns the number of scalar parameters.
+func (m *Model) NumParams() int { return m.PS.NumParams() }
+
+// Save serializes model weights (normalizers excluded; persist Config and
+// normalizers alongside when checkpointing end-to-end).
+func (m *Model) Save(w io.Writer) error { return m.PS.Save(w) }
+
+// Load restores weights saved by Save into an identically configured model.
+func (m *Model) Load(r io.Reader) error { return m.PS.Load(r) }

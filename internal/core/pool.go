@@ -1,0 +1,78 @@
+package core
+
+import "sync"
+
+// MemoryPool is the Representation Memory Pool of Section 3: a mapping from
+// sub-plan signatures to their learned representations, letting the online
+// estimator skip re-evaluating sub-plans the optimizer has asked about
+// before. It is safe for concurrent use.
+type MemoryPool struct {
+	mu     sync.RWMutex
+	m      map[string]poolEntry
+	hits   int
+	misses int
+}
+
+type poolEntry struct {
+	g, r []float64
+}
+
+// NewMemoryPool returns an empty pool.
+func NewMemoryPool() *MemoryPool {
+	return &MemoryPool{m: make(map[string]poolEntry)}
+}
+
+// Get returns the stored representation for a sub-plan signature.
+func (p *MemoryPool) Get(sig string) (g, r []float64, ok bool) {
+	p.mu.RLock()
+	e, found := p.m[sig]
+	p.mu.RUnlock()
+	p.mu.Lock()
+	if found {
+		p.hits++
+	} else {
+		p.misses++
+	}
+	p.mu.Unlock()
+	if !found {
+		return nil, nil, false
+	}
+	return e.g, e.r, true
+}
+
+// Put stores a representation (copied) under the signature.
+func (p *MemoryPool) Put(sig string, g, r []float64) {
+	gc := make([]float64, len(g))
+	rc := make([]float64, len(r))
+	copy(gc, g)
+	copy(rc, r)
+	p.mu.Lock()
+	p.m[sig] = poolEntry{g: gc, r: rc}
+	p.mu.Unlock()
+}
+
+// Len returns the number of cached sub-plans.
+func (p *MemoryPool) Len() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return len(p.m)
+}
+
+// HitRate returns hits/(hits+misses) over the pool's lifetime.
+func (p *MemoryPool) HitRate() float64 {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	total := p.hits + p.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(p.hits) / float64(total)
+}
+
+// Reset clears contents and counters.
+func (p *MemoryPool) Reset() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.m = make(map[string]poolEntry)
+	p.hits, p.misses = 0, 0
+}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"math/rand"
+
+	"costest/internal/feature"
+	"costest/internal/nn"
+)
+
+// Trainer runs mini-batch Adam training with the multitask q-error loss of
+// Section 4.3.
+type Trainer struct {
+	M   *Model
+	Opt *nn.Adam
+	rng *rand.Rand
+
+	costLoss nn.Loss
+	cardLoss nn.Loss
+}
+
+// NewTrainer builds a trainer for the model.
+func NewTrainer(m *Model) *Trainer {
+	return &Trainer{
+		M:   m,
+		Opt: nn.NewAdam(m.Cfg.LearnRate),
+		rng: rand.New(rand.NewSource(m.Cfg.Seed + 1000)),
+	}
+}
+
+// FitNormalizers fits the cost/cardinality target normalizers on the
+// training set (all supervised nodes when sub-plan supervision is on).
+func (t *Trainer) FitNormalizers(train []*feature.EncodedPlan) {
+	var costs, cards []float64
+	for _, ep := range train {
+		if t.M.Cfg.SubplanLoss {
+			for i := range ep.Nodes {
+				costs = append(costs, ep.Nodes[i].TrueCost)
+				cards = append(cards, ep.Nodes[i].TrueRows)
+			}
+		} else {
+			costs = append(costs, ep.Cost)
+			cards = append(cards, ep.Card)
+		}
+	}
+	t.M.CostNorm = nn.NewNormalizer(costs)
+	t.M.CardNorm = nn.NewNormalizer(cards)
+	t.rebuildLosses()
+}
+
+func (t *Trainer) rebuildLosses() {
+	if t.M.Cfg.UseQError {
+		t.costLoss = nn.QErrorLoss{Norm: t.M.CostNorm, GradClip: 50}
+		t.cardLoss = nn.QErrorLoss{Norm: t.M.CardNorm, GradClip: 50}
+	} else {
+		t.costLoss = nn.MSLELoss{Norm: t.M.CostNorm}
+		t.cardLoss = nn.MSLELoss{Norm: t.M.CardNorm}
+	}
+}
+
+// TrainEpoch runs one epoch over samples in shuffled mini-batches and
+// returns the mean per-sample loss.
+func (t *Trainer) TrainEpoch(samples []*feature.EncodedPlan, batchSize int) float64 {
+	if t.costLoss == nil {
+		t.rebuildLosses()
+	}
+	if batchSize <= 0 {
+		batchSize = 32
+	}
+	idx := t.rng.Perm(len(samples))
+	var total float64
+	for start := 0; start < len(idx); start += batchSize {
+		end := start + batchSize
+		if end > len(idx) {
+			end = len(idx)
+		}
+		t.M.PS.ZeroGrad()
+		for _, i := range idx[start:end] {
+			total += t.accumulate(samples[i])
+		}
+		t.M.PS.ClipGradNorm(t.M.Cfg.GradClip * float64(end-start))
+		t.Opt.Step(t.M.PS)
+	}
+	return total / float64(len(samples))
+}
+
+// accumulate runs forward + backward for one sample, returning its loss.
+func (t *Trainer) accumulate(ep *feature.EncodedPlan) float64 {
+	st := t.M.forwardTrain(ep)
+	loss, hg := t.lossAndGrads(ep, st)
+	t.M.backwardPlan(ep, st, hg)
+	return loss
+}
+
+// lossAndGrads computes the multitask loss
+// ω·qerror(cost) + qerror(card) over the supervised nodes and the head
+// gradients for backprop.
+func (t *Trainer) lossAndGrads(ep *feature.EncodedPlan, st *planState) (float64, []headGrad) {
+	cfg := t.M.Cfg
+	hg := make([]headGrad, len(ep.Nodes))
+	var loss float64
+	var supervised int
+
+	superviseCost := func(idx int, truth float64, weight float64) {
+		l, g := t.costLoss.Eval(st.nodes[idx].costS, truth)
+		loss += weight * l
+		hg[idx].dCostS += weight * g
+		supervised++
+	}
+	superviseCard := func(idx int, truth float64, weight float64) {
+		l, g := t.cardLoss.Eval(st.nodes[idx].cardS, truth)
+		loss += weight * l
+		hg[idx].dCardS += weight * g
+		supervised++
+	}
+
+	if cfg.SubplanLoss {
+		for i := range ep.Nodes {
+			if cfg.Target != TargetCard {
+				superviseCost(i, ep.Nodes[i].TrueCost, cfg.LossWeight)
+			}
+			if cfg.Target != TargetCost {
+				superviseCard(i, ep.Nodes[i].TrueRows, 1)
+			}
+		}
+	} else {
+		if cfg.Target != TargetCard {
+			superviseCost(ep.Root, ep.Cost, cfg.LossWeight)
+		}
+		if cfg.Target != TargetCost {
+			superviseCard(ep.CardNode, ep.Card, 1)
+		}
+	}
+	if supervised == 0 {
+		return 0, hg
+	}
+	// Normalize the gradient scale by the supervision count so sub-plan
+	// supervision does not inflate step sizes.
+	scale := 1 / float64(supervised)
+	for i := range hg {
+		hg[i].dCostS *= scale
+		hg[i].dCardS *= scale
+	}
+	return loss / float64(supervised), hg
+}
+
+// ValidationError reports mean q-errors over a validation set.
+func (m *Model) ValidationError(samples []*feature.EncodedPlan) (costQ, cardQ float64) {
+	if len(samples) == 0 {
+		return 0, 0
+	}
+	for _, ep := range samples {
+		cost, card := m.Estimate(ep)
+		costQ += nn.QError(cost, ep.Cost)
+		cardQ += nn.QError(card, ep.Card)
+	}
+	n := float64(len(samples))
+	return costQ / n, cardQ / n
+}
+
+// EpochStats reports one training epoch's outcome.
+type EpochStats struct {
+	Epoch     int
+	TrainLoss float64
+	ValidCost float64
+	ValidCard float64
+}
+
+// Fit trains for the given number of epochs, reporting per-epoch validation
+// q-errors through cb (which may be nil). It returns the stats history —
+// the data behind the paper's validation-error curves (Figures 7 and 8).
+func (t *Trainer) Fit(train, valid []*feature.EncodedPlan, epochs, batchSize int,
+	cb func(EpochStats)) []EpochStats {
+	t.FitNormalizers(train)
+	history := make([]EpochStats, 0, epochs)
+	for e := 0; e < epochs; e++ {
+		loss := t.TrainEpoch(train, batchSize)
+		vc, vd := t.M.ValidationError(valid)
+		st := EpochStats{Epoch: e, TrainLoss: loss, ValidCost: vc, ValidCard: vd}
+		history = append(history, st)
+		if cb != nil {
+			cb(st)
+		}
+	}
+	return history
+}

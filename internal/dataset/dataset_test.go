@@ -1,0 +1,280 @@
+package dataset
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// testDB caches a small instance shared across tests in this package.
+var testDB = GenerateIMDB(Config{Seed: 1, Scale: 0.03})
+
+func TestSchemaWellFormed(t *testing.T) {
+	s := IMDBSchema()
+	if got := len(s.Tables); got != 21 {
+		t.Fatalf("tables = %d, want 21", got)
+	}
+	if s.NumColumns() == 0 || s.NumIndexes() == 0 {
+		t.Fatal("empty column/index id space")
+	}
+	// Every join edge must be resolvable both ways.
+	for _, j := range s.Joins {
+		if s.JoinBetween(j.FKTable, j.PKTable) == nil {
+			t.Errorf("JoinBetween(%s, %s) = nil", j.FKTable, j.PKTable)
+		}
+		if s.JoinBetween(j.PKTable, j.FKTable) == nil {
+			t.Errorf("JoinBetween(%s, %s) = nil (reverse)", j.PKTable, j.FKTable)
+		}
+	}
+	// Primary keys have indexes.
+	for _, tab := range s.Tables {
+		if s.IndexOn(tab.Name, "id") == nil {
+			t.Errorf("no PK index on %s", tab.Name)
+		}
+	}
+}
+
+func TestColumnIDsDense(t *testing.T) {
+	s := IMDBSchema()
+	seen := make(map[int]bool)
+	for _, tab := range s.Tables {
+		for _, c := range tab.Columns {
+			id := s.ColumnID(tab.Name, c.Name)
+			if id < 0 || id >= s.NumColumns() {
+				t.Fatalf("column id out of range for %s.%s: %d", tab.Name, c.Name, id)
+			}
+			if seen[id] {
+				t.Fatalf("duplicate column id %d", id)
+			}
+			seen[id] = true
+			if got := s.ColumnByID(id); got.Table != tab.Name || got.Name != c.Name {
+				t.Fatalf("ColumnByID(%d) = %v, want %s.%s", id, got, tab.Name, c.Name)
+			}
+		}
+	}
+	if len(seen) != s.NumColumns() {
+		t.Fatalf("column ids not dense: %d vs %d", len(seen), s.NumColumns())
+	}
+}
+
+func TestConnectedSubset(t *testing.T) {
+	s := IMDBSchema()
+	cases := []struct {
+		tables []string
+		want   bool
+	}{
+		{[]string{"title"}, true},
+		{[]string{"title", "movie_companies"}, true},
+		{[]string{"title", "movie_companies", "company_type"}, true},
+		{[]string{"company_type", "keyword"}, false},
+		{[]string{"title", "keyword"}, false}, // needs movie_keyword bridge
+		{[]string{"title", "movie_keyword", "keyword"}, true},
+		{nil, false},
+	}
+	for _, c := range cases {
+		if got := s.ConnectedSubset(c.tables); got != c.want {
+			t.Errorf("ConnectedSubset(%v) = %v, want %v", c.tables, got, c.want)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := GenerateIMDB(Config{Seed: 7, Scale: 0.01})
+	b := GenerateIMDB(Config{Seed: 7, Scale: 0.01})
+	for name, ta := range a.Tables {
+		tb := b.Tables[name]
+		if ta.NumRows != tb.NumRows {
+			t.Fatalf("%s row count differs: %d vs %d", name, ta.NumRows, tb.NumRows)
+		}
+	}
+	ta, tb := a.Tables["movie_companies"], b.Tables["movie_companies"]
+	na, nb := ta.StrColumn("note"), tb.StrColumn("note")
+	for i := range na {
+		if na[i] != nb[i] {
+			t.Fatalf("nondeterministic note at row %d: %q vs %q", i, na[i], nb[i])
+		}
+	}
+	c := GenerateIMDB(Config{Seed: 8, Scale: 0.01})
+	diff := false
+	nc := c.Tables["movie_companies"].StrColumn("note")
+	for i := 0; i < len(na) && i < len(nc); i++ {
+		if na[i] != nc[i] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestForeignKeysValid(t *testing.T) {
+	db := testDB
+	for _, j := range db.Schema.Joins {
+		fk := db.Table(j.FKTable)
+		pk := db.Table(j.PKTable)
+		col := fk.IntColumn(j.FKColumn)
+		if col == nil {
+			t.Fatalf("FK column %s.%s missing", j.FKTable, j.FKColumn)
+		}
+		for i, v := range col {
+			if pk.PKRow(v) < 0 {
+				t.Fatalf("dangling FK %s.%s=%d at row %d (pk table has %d rows)",
+					j.FKTable, j.FKColumn, v, i, pk.NumRows)
+			}
+		}
+	}
+}
+
+func TestPrimaryKeysContiguous(t *testing.T) {
+	for name, tab := range testDB.Tables {
+		ids := tab.IntColumn("id")
+		if ids == nil {
+			t.Fatalf("%s has no id column", name)
+		}
+		for i, v := range ids {
+			if v != int64(i+1) {
+				t.Fatalf("%s id at row %d is %d, want %d", name, i, v, i+1)
+			}
+		}
+	}
+}
+
+func TestPlantedNotePatterns(t *testing.T) {
+	mc := testDB.Table("movie_companies")
+	notes := mc.StrColumn("note")
+	var counts = map[string]int{}
+	for _, n := range notes {
+		switch {
+		case n == "(co-production)":
+			counts["co"]++
+		case n == "(presents)":
+			counts["presents"]++
+		case strings.HasPrefix(n, "(as "):
+			counts["as"]++
+		case strings.Contains(n, "(TV)"):
+			counts["tv"]++
+		}
+	}
+	for _, k := range []string{"co", "presents", "as", "tv"} {
+		if counts[k] == 0 {
+			t.Errorf("pattern family %q absent from generated notes", k)
+		}
+	}
+}
+
+// The planted correlation: (co-production) must be much more frequent for
+// movies from 2000 on than before — the kind of cross-table correlation a
+// per-column histogram cannot capture.
+func TestYearNoteCorrelation(t *testing.T) {
+	mc := testDB.Table("movie_companies")
+	title := testDB.Table("title")
+	years := title.IntColumn("production_year")
+	notes := mc.StrColumn("note")
+	movieIDs := mc.IntColumn("movie_id")
+	types := mc.IntColumn("company_type_id")
+	var newCo, newTotal, oldCo, oldTotal int
+	for i, n := range notes {
+		if types[i] != 1 {
+			continue
+		}
+		y := years[title.PKRow(movieIDs[i])]
+		if y >= 2000 {
+			newTotal++
+			if n == "(co-production)" {
+				newCo++
+			}
+		} else {
+			oldTotal++
+			if n == "(co-production)" {
+				oldCo++
+			}
+		}
+	}
+	if newTotal == 0 || oldTotal == 0 {
+		t.Skip("scale too small for correlation check")
+	}
+	newRate := float64(newCo) / float64(newTotal)
+	oldRate := float64(oldCo) / float64(oldTotal)
+	if newRate < 3*oldRate {
+		t.Errorf("co-production correlation too weak: new=%.3f old=%.3f", newRate, oldRate)
+	}
+}
+
+func TestTop250RankPresent(t *testing.T) {
+	mi := testDB.Table("movie_info_idx")
+	types := mi.IntColumn("info_type_id")
+	n := 0
+	for _, v := range types {
+		if v == 101 {
+			n++
+		}
+	}
+	if n == 0 {
+		t.Fatal("no top 250 rank rows generated")
+	}
+}
+
+func TestJoinFanoutSkewed(t *testing.T) {
+	ci := testDB.Table("cast_info")
+	movieIDs := ci.IntColumn("movie_id")
+	counts := map[int64]int{}
+	for _, m := range movieIDs {
+		counts[m]++
+	}
+	maxC := 0
+	for _, c := range counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	mean := float64(len(movieIDs)) / float64(len(counts))
+	if float64(maxC) < 5*mean {
+		t.Errorf("fan-out not skewed: max=%d mean=%.1f", maxC, mean)
+	}
+}
+
+func TestZipfPickBounds(t *testing.T) {
+	g := &gen{cfg: Config{Seed: 1, Scale: 1}, rng: rand.New(rand.NewSource(5))}
+	f := func(n uint8) bool {
+		m := int(n%50) + 1
+		v := g.zipfPick(m, 1.3)
+		return v >= 0 && v < m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAppendRowPanicsOnArity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tab := NewTable(IMDBSchema().Table("kind_type"))
+	tab.AppendRow(int64(1)) // missing kind value
+}
+
+func TestColumnAccessors(t *testing.T) {
+	tab := testDB.Table("title")
+	if tab.IntColumn("production_year") == nil {
+		t.Fatal("production_year should be an int column")
+	}
+	if tab.IntColumn("title") != nil {
+		t.Fatal("title is a string column, IntColumn must return nil")
+	}
+	if tab.StrColumn("title") == nil {
+		t.Fatal("title string column missing")
+	}
+	if tab.ColIndex("nope") != -1 {
+		t.Fatal("missing column should have index -1")
+	}
+	if tab.PKRow(0) != -1 || tab.PKRow(int64(tab.NumRows)+1) != -1 {
+		t.Fatal("out-of-range PK must map to -1")
+	}
+	if tab.PKRow(1) != 0 {
+		t.Fatal("PK 1 must map to row 0")
+	}
+}

@@ -1,0 +1,132 @@
+package dataset
+
+import "costest/internal/schema"
+
+// IMDBSchema builds the IMDB-style schema used throughout the paper's
+// experiments: 21 tables joined on primary/foreign keys, with indexes on
+// every primary key (Section 6.1: "We build indexes on primary keys").
+func IMDBSchema() *schema.Schema {
+	ic := func(name string, pred bool) schema.Column {
+		return schema.Column{Name: name, Type: schema.IntCol, Predicable: pred}
+	}
+	sc := func(name string, pred bool) schema.Column {
+		return schema.Column{Name: name, Type: schema.StringCol, Predicable: pred}
+	}
+	tables := []*schema.Table{
+		{Name: "title", PrimaryKey: "id", Columns: []schema.Column{
+			ic("id", false), sc("title", true), ic("kind_id", true),
+			ic("production_year", true), ic("season_nr", true), ic("episode_nr", true),
+		}},
+		{Name: "kind_type", PrimaryKey: "id", Columns: []schema.Column{
+			ic("id", false), sc("kind", true),
+		}},
+		{Name: "movie_companies", PrimaryKey: "id", Columns: []schema.Column{
+			ic("id", false), ic("movie_id", false), ic("company_id", false),
+			ic("company_type_id", true), sc("note", true),
+		}},
+		{Name: "company_name", PrimaryKey: "id", Columns: []schema.Column{
+			ic("id", false), sc("name", true), sc("country_code", true),
+		}},
+		{Name: "company_type", PrimaryKey: "id", Columns: []schema.Column{
+			ic("id", false), sc("kind", true),
+		}},
+		{Name: "movie_info", PrimaryKey: "id", Columns: []schema.Column{
+			ic("id", false), ic("movie_id", false), ic("info_type_id", true), sc("info", true),
+		}},
+		{Name: "movie_info_idx", PrimaryKey: "id", Columns: []schema.Column{
+			ic("id", false), ic("movie_id", false), ic("info_type_id", true), sc("info", true),
+		}},
+		{Name: "info_type", PrimaryKey: "id", Columns: []schema.Column{
+			ic("id", false), sc("info", true),
+		}},
+		{Name: "movie_keyword", PrimaryKey: "id", Columns: []schema.Column{
+			ic("id", false), ic("movie_id", false), ic("keyword_id", true),
+		}},
+		{Name: "keyword", PrimaryKey: "id", Columns: []schema.Column{
+			ic("id", false), sc("keyword", true),
+		}},
+		{Name: "cast_info", PrimaryKey: "id", Columns: []schema.Column{
+			ic("id", false), ic("person_id", false), ic("movie_id", false),
+			ic("role_id", true), ic("nr_order", true), sc("note", true),
+		}},
+		{Name: "role_type", PrimaryKey: "id", Columns: []schema.Column{
+			ic("id", false), sc("role", true),
+		}},
+		{Name: "name", PrimaryKey: "id", Columns: []schema.Column{
+			ic("id", false), sc("name", true), sc("gender", true),
+		}},
+		{Name: "char_name", PrimaryKey: "id", Columns: []schema.Column{
+			ic("id", false), sc("name", true),
+		}},
+		{Name: "aka_name", PrimaryKey: "id", Columns: []schema.Column{
+			ic("id", false), ic("person_id", false), sc("name", true),
+		}},
+		{Name: "aka_title", PrimaryKey: "id", Columns: []schema.Column{
+			ic("id", false), ic("movie_id", false), sc("title", true), ic("production_year", true),
+		}},
+		{Name: "person_info", PrimaryKey: "id", Columns: []schema.Column{
+			ic("id", false), ic("person_id", false), ic("info_type_id", true), sc("info", true),
+		}},
+		{Name: "movie_link", PrimaryKey: "id", Columns: []schema.Column{
+			ic("id", false), ic("movie_id", false), ic("linked_movie_id", false), ic("link_type_id", true),
+		}},
+		{Name: "link_type", PrimaryKey: "id", Columns: []schema.Column{
+			ic("id", false), sc("link", true),
+		}},
+		{Name: "complete_cast", PrimaryKey: "id", Columns: []schema.Column{
+			ic("id", false), ic("movie_id", false), ic("subject_id", true), ic("status_id", true),
+		}},
+		{Name: "comp_cast_type", PrimaryKey: "id", Columns: []schema.Column{
+			ic("id", false), sc("kind", true),
+		}},
+	}
+
+	var indexes []*schema.Index
+	for _, t := range tables {
+		indexes = append(indexes, &schema.Index{
+			Name: t.Name + "_pkey", Table: t.Name, Column: "id",
+		})
+	}
+	// FK indexes on the big fact tables' movie_id columns (PostgreSQL's IMDB
+	// setup for JOB typically adds these; they enable index nested loops).
+	for _, t := range []string{"movie_companies", "movie_info", "movie_info_idx", "movie_keyword", "cast_info", "aka_title", "complete_cast", "movie_link"} {
+		indexes = append(indexes, &schema.Index{
+			Name: t + "_movie_id_idx", Table: t, Column: "movie_id",
+		})
+	}
+	indexes = append(indexes,
+		&schema.Index{Name: "cast_info_person_id_idx", Table: "cast_info", Column: "person_id"},
+		&schema.Index{Name: "person_info_person_id_idx", Table: "person_info", Column: "person_id"},
+		&schema.Index{Name: "aka_name_person_id_idx", Table: "aka_name", Column: "person_id"},
+	)
+
+	joins := []schema.JoinEdge{
+		{FKTable: "title", FKColumn: "kind_id", PKTable: "kind_type", PKColumn: "id"},
+		{FKTable: "movie_companies", FKColumn: "movie_id", PKTable: "title", PKColumn: "id"},
+		{FKTable: "movie_companies", FKColumn: "company_id", PKTable: "company_name", PKColumn: "id"},
+		{FKTable: "movie_companies", FKColumn: "company_type_id", PKTable: "company_type", PKColumn: "id"},
+		{FKTable: "movie_info", FKColumn: "movie_id", PKTable: "title", PKColumn: "id"},
+		{FKTable: "movie_info", FKColumn: "info_type_id", PKTable: "info_type", PKColumn: "id"},
+		{FKTable: "movie_info_idx", FKColumn: "movie_id", PKTable: "title", PKColumn: "id"},
+		{FKTable: "movie_info_idx", FKColumn: "info_type_id", PKTable: "info_type", PKColumn: "id"},
+		{FKTable: "movie_keyword", FKColumn: "movie_id", PKTable: "title", PKColumn: "id"},
+		{FKTable: "movie_keyword", FKColumn: "keyword_id", PKTable: "keyword", PKColumn: "id"},
+		{FKTable: "cast_info", FKColumn: "movie_id", PKTable: "title", PKColumn: "id"},
+		{FKTable: "cast_info", FKColumn: "person_id", PKTable: "name", PKColumn: "id"},
+		{FKTable: "cast_info", FKColumn: "role_id", PKTable: "role_type", PKColumn: "id"},
+		{FKTable: "aka_name", FKColumn: "person_id", PKTable: "name", PKColumn: "id"},
+		{FKTable: "aka_title", FKColumn: "movie_id", PKTable: "title", PKColumn: "id"},
+		{FKTable: "person_info", FKColumn: "person_id", PKTable: "name", PKColumn: "id"},
+		{FKTable: "person_info", FKColumn: "info_type_id", PKTable: "info_type", PKColumn: "id"},
+		{FKTable: "movie_link", FKColumn: "movie_id", PKTable: "title", PKColumn: "id"},
+		{FKTable: "movie_link", FKColumn: "link_type_id", PKTable: "link_type", PKColumn: "id"},
+		{FKTable: "complete_cast", FKColumn: "movie_id", PKTable: "title", PKColumn: "id"},
+		{FKTable: "complete_cast", FKColumn: "subject_id", PKTable: "comp_cast_type", PKColumn: "id"},
+	}
+
+	s, err := schema.New(tables, indexes, joins)
+	if err != nil {
+		panic("dataset: IMDB schema invalid: " + err.Error())
+	}
+	return s
+}

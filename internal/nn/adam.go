@@ -1,0 +1,39 @@
+package nn
+
+import "math"
+
+// Adam implements the Adam optimizer (Kingma & Ba). The paper trains with
+// Adam at learning rate 0.001 (Section 6.3.1).
+type Adam struct {
+	LR    float64
+	Beta1 float64
+	Beta2 float64
+	Eps   float64
+	steps int
+}
+
+// NewAdam returns an Adam optimizer with the paper's learning rate and the
+// standard moment decay rates.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// Step applies one Adam update to every parameter in ps using the gradients
+// currently accumulated, then the caller typically calls ps.ZeroGrad.
+func (a *Adam) Step(ps *ParamSet) {
+	a.steps++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.steps))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.steps))
+	for _, p := range ps.params {
+		for i, g := range p.Grad {
+			p.m[i] = a.Beta1*p.m[i] + (1-a.Beta1)*g
+			p.v[i] = a.Beta2*p.v[i] + (1-a.Beta2)*g*g
+			mHat := p.m[i] / bc1
+			vHat := p.v[i] / bc2
+			p.Value[i] -= a.LR * mHat / (math.Sqrt(vHat) + a.Eps)
+		}
+	}
+}
+
+// Steps reports how many optimizer steps have been applied.
+func (a *Adam) Steps() int { return a.steps }

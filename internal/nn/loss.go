@@ -1,0 +1,122 @@
+package nn
+
+import (
+	"math"
+)
+
+// epsValue floors true/estimated values so q-error and logarithms stay finite
+// for zero-cardinality results.
+const epsValue = 1.0
+
+// Normalizer maps positive targets (costs, cardinalities) to [0,1] by min-max
+// scaling in log space, matching the paper's "normalized true cost /
+// cardinality" targets that the sigmoid output layer predicts.
+type Normalizer struct {
+	MinLog, MaxLog float64
+}
+
+// NewNormalizer fits a normalizer on the training targets. The range is
+// widened by a small margin so slightly out-of-range test values do not
+// saturate the sigmoid target exactly at 0 or 1.
+func NewNormalizer(values []float64) Normalizer {
+	if len(values) == 0 {
+		return Normalizer{MinLog: 0, MaxLog: 1}
+	}
+	minLog, maxLog := math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		l := math.Log(math.Max(v, epsValue))
+		if l < minLog {
+			minLog = l
+		}
+		if l > maxLog {
+			maxLog = l
+		}
+	}
+	if maxLog-minLog < 1e-6 {
+		maxLog = minLog + 1
+	}
+	margin := (maxLog - minLog) * 0.05
+	return Normalizer{MinLog: minLog - margin, MaxLog: maxLog + margin}
+}
+
+// Span returns the width of the log range.
+func (n Normalizer) Span() float64 { return n.MaxLog - n.MinLog }
+
+// Normalize maps a raw positive value to [0,1].
+func (n Normalizer) Normalize(v float64) float64 {
+	s := (math.Log(math.Max(v, epsValue)) - n.MinLog) / n.Span()
+	if s < 0 {
+		return 0
+	}
+	if s > 1 {
+		return 1
+	}
+	return s
+}
+
+// Denormalize maps a [0,1] model output back to the raw value scale.
+func (n Normalizer) Denormalize(s float64) float64 {
+	return math.Exp(s*n.Span() + n.MinLog)
+}
+
+// QError returns max(est,truth)/min(est,truth), the paper's error metric and
+// training loss. Both operands are floored at 1 so the ratio is always >= 1.
+func QError(est, truth float64) float64 {
+	est = math.Max(est, epsValue)
+	truth = math.Max(truth, epsValue)
+	if est > truth {
+		return est / truth
+	}
+	return truth / est
+}
+
+// QErrorLoss computes the q-error between the denormalized model output s and
+// the raw truth, plus the loss gradient with respect to s. The per-sample
+// gradient is clamped at gradClip to keep rare huge-error samples from
+// destabilizing Adam (the paper's framework relies on the same kind of
+// clipping for stability).
+type QErrorLoss struct {
+	Norm     Normalizer
+	GradClip float64 // 0 means no per-sample clipping
+}
+
+// Eval returns (loss, dLoss/ds) for sigmoid output s and raw target truth.
+func (l QErrorLoss) Eval(s, truth float64) (loss, grad float64) {
+	est := math.Max(l.Norm.Denormalize(s), epsValue)
+	truth = math.Max(truth, epsValue)
+	span := l.Norm.Span()
+	if est >= truth {
+		loss = est / truth
+		grad = loss * span // d(est/truth)/ds = est*span/truth
+	} else {
+		loss = truth / est
+		grad = -loss * span // d(truth/est)/ds = -truth*span/est
+	}
+	if l.GradClip > 0 {
+		if grad > l.GradClip {
+			grad = l.GradClip
+		} else if grad < -l.GradClip {
+			grad = -l.GradClip
+		}
+	}
+	return loss, grad
+}
+
+// MSLELoss is the mean-squared error on the normalized log scale — the common
+// surrogate for q-error used by reproduction studies. Provided for the loss
+// ablation benchmark.
+type MSLELoss struct {
+	Norm Normalizer
+}
+
+// Eval returns (loss, dLoss/ds) for sigmoid output s and raw target truth.
+func (l MSLELoss) Eval(s, truth float64) (loss, grad float64) {
+	t := l.Norm.Normalize(truth)
+	d := s - t
+	return d * d, 2 * d
+}
+
+// Loss is the interface shared by q-error and MSLE losses.
+type Loss interface {
+	Eval(s, truth float64) (loss, grad float64)
+}

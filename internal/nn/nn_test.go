@@ -1,0 +1,330 @@
+package nn
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"costest/internal/tensor"
+)
+
+// numericalGrad estimates dOut/dParam[i] for a scalar-valued forward function
+// by central finite differences.
+func numericalGrad(f func() float64, param []float64, i int) float64 {
+	const h = 1e-6
+	orig := param[i]
+	param[i] = orig + h
+	up := f()
+	param[i] = orig - h
+	down := f()
+	param[i] = orig
+	return (up - down) / (2 * h)
+}
+
+func TestLinearGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	ps := NewParamSet()
+	l := NewLinear(ps, "l", 4, 3, rng)
+	x := tensor.NewVec(4)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	y := tensor.NewVec(3)
+	// Scalar objective: sum(Wx+b).
+	obj := func() float64 {
+		l.Forward(y, x)
+		var s float64
+		for _, v := range y {
+			s += v
+		}
+		return s
+	}
+	obj()
+	ps.ZeroGrad()
+	dy := tensor.Vec{1, 1, 1}
+	dx := tensor.NewVec(4)
+	l.Backward(dx, dy, x)
+
+	for i := range l.W.Value {
+		want := numericalGrad(obj, l.W.Value, i)
+		if math.Abs(l.W.Grad[i]-want) > 1e-5 {
+			t.Fatalf("W grad[%d] = %g, want %g", i, l.W.Grad[i], want)
+		}
+	}
+	for i := range l.B.Value {
+		want := numericalGrad(obj, l.B.Value, i)
+		if math.Abs(l.B.Grad[i]-want) > 1e-5 {
+			t.Fatalf("B grad[%d] = %g, want %g", i, l.B.Grad[i], want)
+		}
+	}
+	for i := range x {
+		want := numericalGrad(obj, x, i)
+		if math.Abs(dx[i]-want) > 1e-5 {
+			t.Fatalf("input grad[%d] = %g, want %g", i, dx[i], want)
+		}
+	}
+}
+
+func TestMLPGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ps := NewParamSet()
+	m := NewMLP(ps, "mlp", []int{3, 5, 2}, ActSigmoid, rng)
+	x := tensor.Vec{0.3, -0.7, 1.1}
+	out := tensor.NewVec(2)
+	obj := func() float64 {
+		m.Forward(out, x)
+		return out[0]*2 + out[1]*-1
+	}
+	obj()
+	ps.ZeroGrad()
+	dx := tensor.NewVec(3)
+	m.Backward(dx, tensor.Vec{2, -1})
+
+	for _, p := range ps.Params() {
+		for i := range p.Value {
+			want := numericalGrad(obj, p.Value, i)
+			if math.Abs(p.Grad[i]-want) > 1e-5 {
+				t.Fatalf("%s grad[%d] = %g, want %g", p.Name, i, p.Grad[i], want)
+			}
+		}
+	}
+	for i := range x {
+		want := numericalGrad(obj, x, i)
+		if math.Abs(dx[i]-want) > 1e-5 {
+			t.Fatalf("input grad[%d] = %g, want %g", i, dx[i], want)
+		}
+	}
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	ps := NewParamSet()
+	p := ps.NewParam("x", 2, 1)
+	p.Value[0], p.Value[1] = 5, -3
+	opt := NewAdam(0.05)
+	for i := 0; i < 2000; i++ {
+		ps.ZeroGrad()
+		// f(x) = (x0-1)^2 + (x1-2)^2
+		p.Grad[0] = 2 * (p.Value[0] - 1)
+		p.Grad[1] = 2 * (p.Value[1] - 2)
+		opt.Step(ps)
+	}
+	if math.Abs(p.Value[0]-1) > 1e-2 || math.Abs(p.Value[1]-2) > 1e-2 {
+		t.Fatalf("Adam did not converge: %v", p.Value)
+	}
+}
+
+func TestMLPLearnsXOR(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ps := NewParamSet()
+	m := NewMLP(ps, "xor", []int{2, 8, 1}, ActSigmoid, rng)
+	opt := NewAdam(0.05)
+	inputs := [][]float64{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+	targets := []float64{0, 1, 1, 0}
+	out := tensor.NewVec(1)
+	for epoch := 0; epoch < 2000; epoch++ {
+		ps.ZeroGrad()
+		for k, in := range inputs {
+			m.Forward(out, in)
+			d := out[0] - targets[k]
+			m.Backward(nil, tensor.Vec{2 * d})
+		}
+		opt.Step(ps)
+	}
+	for k, in := range inputs {
+		m.Forward(out, in)
+		if math.Abs(out[0]-targets[k]) > 0.2 {
+			t.Fatalf("XOR(%v) = %g, want %g", in, out[0], targets[k])
+		}
+	}
+}
+
+func TestNormalizerRoundTrip(t *testing.T) {
+	n := NewNormalizer([]float64{1, 10, 100, 100000})
+	for _, v := range []float64{1, 5, 99, 12345} {
+		s := n.Normalize(v)
+		if s < 0 || s > 1 {
+			t.Fatalf("Normalize(%g) = %g out of [0,1]", v, s)
+		}
+		back := n.Denormalize(s)
+		if math.Abs(math.Log(back)-math.Log(v)) > 1e-9 {
+			t.Fatalf("round trip %g -> %g", v, back)
+		}
+	}
+}
+
+func TestNormalizerDegenerate(t *testing.T) {
+	n := NewNormalizer([]float64{42, 42, 42})
+	s := n.Normalize(42)
+	if math.IsNaN(s) || s < 0 || s > 1 {
+		t.Fatalf("degenerate Normalize = %g", s)
+	}
+	if NewNormalizer(nil).Span() <= 0 {
+		t.Fatal("empty normalizer must have positive span")
+	}
+}
+
+// Property: q-error is symmetric and >= 1.
+func TestQErrorProperties(t *testing.T) {
+	f := func(a, b float64) bool {
+		a, b = math.Abs(a)+1, math.Abs(b)+1
+		q := QError(a, b)
+		return q >= 1 && math.Abs(q-QError(b, a)) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQErrorExact(t *testing.T) {
+	if q := QError(10, 10); q != 1 {
+		t.Fatalf("QError(10,10) = %g", q)
+	}
+	if q := QError(100, 10); q != 10 {
+		t.Fatalf("QError(100,10) = %g", q)
+	}
+	if q := QError(0, 10); q != 10 { // zero floored to 1
+		t.Fatalf("QError(0,10) = %g", q)
+	}
+}
+
+func TestQErrorLossGradientDirection(t *testing.T) {
+	norm := NewNormalizer([]float64{1, 1e6})
+	l := QErrorLoss{Norm: norm}
+	truth := 1000.0
+	sTrue := norm.Normalize(truth)
+	// Overestimate: positive gradient pushes s down.
+	_, g := l.Eval(sTrue+0.2, truth)
+	if g <= 0 {
+		t.Fatalf("overestimate gradient = %g, want > 0", g)
+	}
+	// Underestimate: negative gradient pushes s up.
+	_, g = l.Eval(sTrue-0.2, truth)
+	if g >= 0 {
+		t.Fatalf("underestimate gradient = %g, want < 0", g)
+	}
+}
+
+func TestQErrorLossMatchesNumericalGradient(t *testing.T) {
+	norm := NewNormalizer([]float64{1, 1e6})
+	l := QErrorLoss{Norm: norm}
+	truth := 512.0
+	for _, s := range []float64{0.2, 0.5, 0.8} {
+		_, grad := l.Eval(s, truth)
+		const h = 1e-7
+		up, _ := l.Eval(s+h, truth)
+		down, _ := l.Eval(s-h, truth)
+		want := (up - down) / (2 * h)
+		if math.Abs(grad-want) > 1e-3*math.Max(1, math.Abs(want)) {
+			t.Fatalf("q-error grad at s=%g: %g, want %g", s, grad, want)
+		}
+	}
+}
+
+func TestQErrorLossClipping(t *testing.T) {
+	norm := NewNormalizer([]float64{1, 1e9})
+	l := QErrorLoss{Norm: norm, GradClip: 10}
+	_, g := l.Eval(0.999, 2)
+	if math.Abs(g) > 10 {
+		t.Fatalf("clipped gradient = %g, |g| must be <= 10", g)
+	}
+}
+
+func TestMSLELoss(t *testing.T) {
+	norm := NewNormalizer([]float64{1, 1e6})
+	l := MSLELoss{Norm: norm}
+	truth := 100.0
+	loss, grad := l.Eval(norm.Normalize(truth), truth)
+	if loss > 1e-12 || grad > 1e-6 {
+		t.Fatalf("perfect prediction loss=%g grad=%g", loss, grad)
+	}
+}
+
+func TestClipGradNorm(t *testing.T) {
+	ps := NewParamSet()
+	p := ps.NewParam("p", 2, 1)
+	p.Grad[0], p.Grad[1] = 3, 4 // norm 5
+	pre := ps.ClipGradNorm(1)
+	if math.Abs(pre-5) > 1e-12 {
+		t.Fatalf("pre-clip norm = %g, want 5", pre)
+	}
+	if math.Abs(ps.GradNorm()-1) > 1e-9 {
+		t.Fatalf("post-clip norm = %g, want 1", ps.GradNorm())
+	}
+	// NaN gradients must be neutralized.
+	p.Grad[0] = math.NaN()
+	ps.ClipGradNorm(1)
+	if math.IsNaN(p.Grad[0]) {
+		t.Fatal("NaN gradient survived clipping")
+	}
+}
+
+func TestParamSetSaveLoad(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	ps := NewParamSet()
+	NewLinear(ps, "a", 3, 2, rng)
+	NewLinear(ps, "b", 2, 2, rng)
+	var buf bytes.Buffer
+	if err := ps.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	ps2 := NewParamSet()
+	NewLinear(ps2, "a", 3, 2, rng)
+	NewLinear(ps2, "b", 2, 2, rng)
+	if err := ps2.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range ps.Params() {
+		q := ps2.Params()[i]
+		for j := range p.Value {
+			if p.Value[j] != q.Value[j] {
+				t.Fatalf("param %s[%d] mismatch after load", p.Name, j)
+			}
+		}
+	}
+}
+
+func TestParamSetLoadShapeMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	ps := NewParamSet()
+	NewLinear(ps, "a", 3, 2, rng)
+	var buf bytes.Buffer
+	if err := ps.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ps2 := NewParamSet()
+	NewLinear(ps2, "a", 4, 2, rng)
+	if err := ps2.Load(&buf); err == nil {
+		t.Fatal("expected shape mismatch error")
+	}
+}
+
+func TestDuplicateParamPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate parameter name")
+		}
+	}()
+	ps := NewParamSet()
+	ps.NewParam("x", 1, 1)
+	ps.NewParam("x", 1, 1)
+}
+
+func TestActivations(t *testing.T) {
+	x := tensor.Vec{-1, 0, 2}
+	y := tensor.NewVec(3)
+	ReLU(y, x)
+	if y[0] != 0 || y[1] != 0 || y[2] != 2 {
+		t.Fatalf("ReLU = %v", y)
+	}
+	Sigmoid(y, tensor.Vec{0, 100, -100})
+	if math.Abs(y[0]-0.5) > 1e-12 || y[1] < 0.999 || y[2] > 0.001 {
+		t.Fatalf("Sigmoid = %v", y)
+	}
+	Tanh(y, tensor.Vec{0, 10, -10})
+	if y[0] != 0 || y[1] < 0.999 || y[2] > -0.999 {
+		t.Fatalf("Tanh = %v", y)
+	}
+}

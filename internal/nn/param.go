@@ -1,0 +1,181 @@
+// Package nn implements the neural-network substrate the estimator is built
+// on: trainable parameters, linear layers, activations, the Adam optimizer,
+// q-error / MSLE losses and min-max log normalization. The paper trains its
+// model with a deep-learning framework; no such framework exists in the Go
+// standard library, so this package provides the minimal equivalent with
+// explicit (manual) backpropagation.
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+
+	"costest/internal/tensor"
+)
+
+// Param is a trainable tensor with its gradient accumulator and Adam moments.
+// A vector parameter is stored as Rows x 1.
+type Param struct {
+	Name       string
+	Rows, Cols int
+	Value      []float64
+	Grad       []float64
+	m, v       []float64 // Adam first/second moment estimates
+}
+
+// Mat returns a matrix view over the parameter values.
+func (p *Param) Mat() *tensor.Mat {
+	return &tensor.Mat{Rows: p.Rows, Cols: p.Cols, Data: p.Value}
+}
+
+// GradMat returns a matrix view over the parameter gradient.
+func (p *Param) GradMat() *tensor.Mat {
+	return &tensor.Mat{Rows: p.Rows, Cols: p.Cols, Data: p.Grad}
+}
+
+// Vec returns the parameter values as a vector (for bias parameters).
+func (p *Param) Vec() tensor.Vec { return p.Value }
+
+// GradVec returns the parameter gradient as a vector.
+func (p *Param) GradVec() tensor.Vec { return p.Grad }
+
+// ParamSet owns every trainable parameter of a model, so optimizers,
+// clipping and serialization can treat the model uniformly.
+type ParamSet struct {
+	params []*Param
+	byName map[string]*Param
+}
+
+// NewParamSet returns an empty parameter set.
+func NewParamSet() *ParamSet {
+	return &ParamSet{byName: make(map[string]*Param)}
+}
+
+// NewParam allocates and registers a rows x cols parameter. Names must be
+// unique within the set; duplicates panic since they indicate a wiring bug.
+func (ps *ParamSet) NewParam(name string, rows, cols int) *Param {
+	if _, dup := ps.byName[name]; dup {
+		panic(fmt.Sprintf("nn: duplicate parameter %q", name))
+	}
+	n := rows * cols
+	p := &Param{
+		Name: name, Rows: rows, Cols: cols,
+		Value: make([]float64, n),
+		Grad:  make([]float64, n),
+		m:     make([]float64, n),
+		v:     make([]float64, n),
+	}
+	ps.params = append(ps.params, p)
+	ps.byName[name] = p
+	return p
+}
+
+// Get returns the named parameter, or nil if absent.
+func (ps *ParamSet) Get(name string) *Param { return ps.byName[name] }
+
+// Params returns all registered parameters in registration order.
+func (ps *ParamSet) Params() []*Param { return ps.params }
+
+// NumParams returns the total number of scalar parameters.
+func (ps *ParamSet) NumParams() int {
+	n := 0
+	for _, p := range ps.params {
+		n += len(p.Value)
+	}
+	return n
+}
+
+// ZeroGrad clears all gradient accumulators.
+func (ps *ParamSet) ZeroGrad() {
+	for _, p := range ps.params {
+		for i := range p.Grad {
+			p.Grad[i] = 0
+		}
+	}
+}
+
+// GradNorm returns the global L2 norm across all parameter gradients.
+func (ps *ParamSet) GradNorm() float64 {
+	var s float64
+	for _, p := range ps.params {
+		for _, g := range p.Grad {
+			s += g * g
+		}
+	}
+	return math.Sqrt(s)
+}
+
+// ClipGradNorm rescales all gradients so their global L2 norm is at most max.
+// It returns the pre-clipping norm. Non-finite gradients are zeroed first so a
+// single diverged sample cannot poison the step.
+func (ps *ParamSet) ClipGradNorm(max float64) float64 {
+	for _, p := range ps.params {
+		for i, g := range p.Grad {
+			if math.IsNaN(g) || math.IsInf(g, 0) {
+				p.Grad[i] = 0
+			}
+		}
+	}
+	norm := ps.GradNorm()
+	if norm > max && norm > 0 {
+		scale := max / norm
+		for _, p := range ps.params {
+			tensor.Scale(p.Grad, scale)
+		}
+	}
+	return norm
+}
+
+// paramBlob is the gob wire format for a parameter.
+type paramBlob struct {
+	Name       string
+	Rows, Cols int
+	Value      []float64
+}
+
+// Save serializes all parameter values (not optimizer state) to w.
+func (ps *ParamSet) Save(w io.Writer) error {
+	blobs := make([]paramBlob, len(ps.params))
+	for i, p := range ps.params {
+		blobs[i] = paramBlob{Name: p.Name, Rows: p.Rows, Cols: p.Cols, Value: p.Value}
+	}
+	return gob.NewEncoder(w).Encode(blobs)
+}
+
+// Load restores parameter values previously written by Save. Every blob must
+// match a registered parameter of identical shape.
+func (ps *ParamSet) Load(r io.Reader) error {
+	var blobs []paramBlob
+	if err := gob.NewDecoder(r).Decode(&blobs); err != nil {
+		return fmt.Errorf("nn: decode params: %w", err)
+	}
+	for _, b := range blobs {
+		p := ps.byName[b.Name]
+		if p == nil {
+			return fmt.Errorf("nn: unknown parameter %q in snapshot", b.Name)
+		}
+		if p.Rows != b.Rows || p.Cols != b.Cols {
+			return fmt.Errorf("nn: parameter %q shape mismatch: model %dx%d, snapshot %dx%d",
+				b.Name, p.Rows, p.Cols, b.Rows, b.Cols)
+		}
+		copy(p.Value, b.Value)
+	}
+	return nil
+}
+
+// InitXavier applies Xavier initialization to every matrix parameter and
+// zeroes every vector (bias) parameter.
+func (ps *ParamSet) InitXavier(rng *rand.Rand) {
+	for _, p := range ps.params {
+		if p.Cols > 1 {
+			p.Mat().XavierInit(rng)
+		} else {
+			for i := range p.Value {
+				p.Value[i] = 0
+			}
+		}
+	}
+}

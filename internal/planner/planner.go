@@ -1,0 +1,200 @@
+// Package planner converts logical queries into physical plans by bottom-up
+// dynamic programming over join orders, pricing candidates with the
+// PostgreSQL-style estimator. It plays the paper's role of "obtaining query
+// plans from PostgreSQL": plan choices depend on (sometimes wrong) histogram
+// estimates, producing realistic plans with realistic mistakes.
+package planner
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"costest/internal/pg"
+	"costest/internal/plan"
+	"costest/internal/query"
+	"costest/internal/schema"
+	"costest/internal/sqlpred"
+)
+
+// Planner builds physical plans.
+type Planner struct {
+	Est    *pg.Estimator
+	Schema *schema.Schema
+}
+
+// New returns a planner over the given estimator and schema.
+func New(est *pg.Estimator, s *schema.Schema) *Planner {
+	return &Planner{Est: est, Schema: s}
+}
+
+// Plan produces the cheapest physical plan for q under the PG cost model.
+func (p *Planner) Plan(q *query.Query) (*plan.Node, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(q.Tables)
+	if n == 0 {
+		return nil, fmt.Errorf("planner: query with no tables")
+	}
+	if n > 12 {
+		return nil, fmt.Errorf("planner: %d tables exceeds the DP limit", n)
+	}
+
+	type entry struct {
+		node *plan.Node
+		cost float64
+	}
+	best := make(map[uint32]entry)
+
+	// Base relations: best access path per table.
+	for i, t := range q.Tables {
+		node := p.bestAccessPath(t, q.Filter(t))
+		cost := p.Est.EstimateCost(node)
+		best[1<<uint(i)] = entry{node: node, cost: cost}
+	}
+
+	// tableBit maps table name to its bit.
+	tableBit := make(map[string]uint32, n)
+	for i, t := range q.Tables {
+		tableBit[t] = 1 << uint(i)
+	}
+	// Join edges as (maskA, maskB, cond).
+	type edge struct {
+		a, b uint32
+		cond plan.JoinCond
+	}
+	var edges []edge
+	for _, j := range q.Joins {
+		edges = append(edges, edge{tableBit[j.Left.Table], tableBit[j.Right.Table], j})
+	}
+
+	full := uint32(1<<uint(n)) - 1
+	for mask := uint32(1); mask <= full; mask++ {
+		if bits.OnesCount32(mask) < 2 {
+			continue // base relations already seeded
+		}
+		var cur entry
+		cur.cost = math.Inf(1)
+		// Enumerate proper sub-splits of mask.
+		for sub := (mask - 1) & mask; sub > 0; sub = (sub - 1) & mask {
+			rest := mask &^ sub
+			lhs, okL := best[sub]
+			rhs, okR := best[rest]
+			if !okL || !okR {
+				continue
+			}
+			// Find a join condition connecting the two sides.
+			var cond *plan.JoinCond
+			for i := range edges {
+				e := edges[i]
+				if (e.a&sub != 0 && e.b&rest != 0) || (e.a&rest != 0 && e.b&sub != 0) {
+					cond = &edges[i].cond
+					break
+				}
+			}
+			if cond == nil {
+				continue // avoid cross products
+			}
+			for _, cand := range p.joinCandidates(q, cond, lhs.node, rhs.node, rest) {
+				c := p.Est.EstimateCost(cand)
+				if c < cur.cost {
+					cur = entry{node: cand, cost: c}
+				}
+			}
+		}
+		if !math.IsInf(cur.cost, 1) {
+			best[mask] = cur
+		}
+	}
+
+	top, ok := best[full]
+	if !ok {
+		return nil, fmt.Errorf("planner: join graph disconnected for %v", q.Tables)
+	}
+	root := top.node
+	if len(q.Aggs) > 0 {
+		root = &plan.Node{Type: plan.Aggregate, Aggs: q.Aggs, Left: root}
+	}
+	p.Est.Annotate(root)
+	return root, nil
+}
+
+// bestAccessPath picks SeqScan vs (filter-driven) IndexScan for one table.
+func (p *Planner) bestAccessPath(table string, filter sqlpred.Pred) *plan.Node {
+	seq := &plan.Node{Type: plan.SeqScan, Table: table, Filter: filter}
+	bestNode, bestCost := seq, p.Est.EstimateCost(seq)
+
+	// An index scan is possible when a top-level AND-conjunct constrains the
+	// primary key.
+	pk := p.Schema.Table(table).PrimaryKey
+	if pk == "" {
+		return bestNode
+	}
+	idx := p.Schema.IndexOn(table, pk)
+	if idx == nil {
+		return bestNode
+	}
+	cond, residual := extractPKCond(filter, table, pk)
+	if cond == nil {
+		return bestNode
+	}
+	is := &plan.Node{Type: plan.IndexScan, Table: table, Index: idx.Name,
+		IndexCond: cond, Filter: residual}
+	if c := p.Est.EstimateCost(is); c < bestCost {
+		bestNode = is
+	}
+	return bestNode
+}
+
+// extractPKCond pulls one PK range/equality atom out of the top-level AND
+// chain, returning it and the residual predicate.
+func extractPKCond(filter sqlpred.Pred, table, pk string) (*sqlpred.Atom, sqlpred.Pred) {
+	switch n := filter.(type) {
+	case *sqlpred.Atom:
+		if n.Table == table && n.Column == pk && !n.IsStr && n.Op != sqlpred.OpNe {
+			return n, nil
+		}
+	case *sqlpred.Bool:
+		if n.Kind != sqlpred.And {
+			return nil, filter
+		}
+		if a, rest := extractPKCond(n.Left, table, pk); a != nil {
+			return a, sqlpred.AndAll(rest, n.Right)
+		}
+		if a, rest := extractPKCond(n.Right, table, pk); a != nil {
+			return a, sqlpred.AndAll(n.Left, rest)
+		}
+	}
+	return nil, filter
+}
+
+// joinCandidates proposes physical joins of lhs and rhs. rhsMask is used to
+// recognize single-table right sides eligible for index nested loops.
+func (p *Planner) joinCandidates(q *query.Query, cond *plan.JoinCond, lhs, rhs *plan.Node, rhsMask uint32) []*plan.Node {
+	mk := func(t plan.NodeType, l, r *plan.Node) *plan.Node {
+		return &plan.Node{Type: t, JoinCond: cond, Left: l.Clone(), Right: r.Clone()}
+	}
+	out := []*plan.Node{
+		mk(plan.HashJoin, lhs, rhs),
+		mk(plan.HashJoin, rhs, lhs),
+		mk(plan.MergeJoin, lhs, rhs),
+	}
+	// Index nested loop: right side must be a bare table whose join column
+	// is indexed.
+	if bits.OnesCount32(rhsMask) == 1 && rhs.Type.IsScan() && rhs.IndexCond == nil {
+		innerRef := cond.Left
+		if innerRef.Table != rhs.Table {
+			innerRef = cond.Right
+		}
+		if innerRef.Table == rhs.Table {
+			if idx := p.Schema.IndexOn(rhs.Table, innerRef.Column); idx != nil {
+				inner := &plan.Node{Type: plan.IndexScan, Table: rhs.Table, Index: idx.Name,
+					ParamJoin: cond, Filter: q.Filter(rhs.Table)}
+				out = append(out, &plan.Node{Type: plan.NestedLoop, JoinCond: cond,
+					Left: lhs.Clone(), Right: inner})
+			}
+		}
+	}
+	return out
+}

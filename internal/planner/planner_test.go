@@ -1,0 +1,208 @@
+package planner
+
+import (
+	"testing"
+
+	"costest/internal/dataset"
+	"costest/internal/exec"
+	"costest/internal/pg"
+	"costest/internal/plan"
+	"costest/internal/query"
+	"costest/internal/sqlpred"
+	"costest/internal/stats"
+)
+
+var (
+	testDB  = dataset.GenerateIMDB(dataset.Config{Seed: 1, Scale: 0.03})
+	testCat = stats.Collect(testDB, stats.Options{Buckets: 40, SampleSize: 64, Seed: 1})
+	testEng = exec.NewEngine(testDB)
+)
+
+func newPlanner() *Planner {
+	return New(pg.New(testCat), testDB.Schema)
+}
+
+func simpleQuery(tables []string, joins []plan.JoinCond, filters map[string]sqlpred.Pred) *query.Query {
+	return &query.Query{Tables: tables, Joins: joins, Filters: filters,
+		Aggs: []plan.AggSpec{{Func: plan.AggCount}}}
+}
+
+var mcTitle = plan.JoinCond{
+	Left:  plan.ColRef{Table: "movie_companies", Column: "movie_id"},
+	Right: plan.ColRef{Table: "title", Column: "id"},
+}
+var mcCt = plan.JoinCond{
+	Left:  plan.ColRef{Table: "movie_companies", Column: "company_type_id"},
+	Right: plan.ColRef{Table: "company_type", Column: "id"},
+}
+
+func TestPlanSingleTable(t *testing.T) {
+	p := newPlanner()
+	f := &sqlpred.Atom{Table: "title", Column: "production_year", Op: sqlpred.OpGt, NumVal: 2000}
+	q := simpleQuery([]string{"title"}, nil, map[string]sqlpred.Pred{"title": f})
+	root, err := p.Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.Type != plan.Aggregate {
+		t.Fatalf("root = %v, want Aggregate", root.Type)
+	}
+	if !root.Left.Type.IsScan() {
+		t.Fatalf("child = %v, want scan", root.Left.Type)
+	}
+	if _, err := testEng.Run(root); err != nil {
+		t.Fatalf("planned query does not execute: %v", err)
+	}
+}
+
+func TestPlanTwoWayJoinExecutes(t *testing.T) {
+	p := newPlanner()
+	q := simpleQuery([]string{"movie_companies", "title"}, []plan.JoinCond{mcTitle}, nil)
+	root, err := p.Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := testEng.Run(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.NumRows() != 1 { // aggregate output
+		t.Fatalf("aggregate rows = %d", rel.NumRows())
+	}
+	card := root.CardinalityNode().TrueRows
+	if card != float64(testDB.Table("movie_companies").NumRows) {
+		t.Errorf("join cardinality %g, want full FK size", card)
+	}
+}
+
+func TestPlanThreeWayJoin(t *testing.T) {
+	p := newPlanner()
+	f := &sqlpred.Atom{Table: "company_type", Column: "kind", Op: sqlpred.OpEq,
+		StrVal: "production companies", IsStr: true}
+	q := simpleQuery([]string{"movie_companies", "title", "company_type"},
+		[]plan.JoinCond{mcTitle, mcCt},
+		map[string]sqlpred.Pred{"company_type": f})
+	root, err := p.Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joins := 0
+	root.Walk(func(n *plan.Node) {
+		if n.Type.IsJoin() {
+			joins++
+		}
+	})
+	if joins != 2 {
+		t.Fatalf("plan has %d joins, want 2:\n%s", joins, root)
+	}
+	if _, err := testEng.Run(root); err != nil {
+		t.Fatalf("planned query fails: %v\n%s", err, root)
+	}
+}
+
+// All join orders/methods must agree on the final cardinality — the planner
+// must only change cost, never semantics.
+func TestPlannerPreservesSemantics(t *testing.T) {
+	p := newPlanner()
+	f := &sqlpred.Atom{Table: "title", Column: "production_year", Op: sqlpred.OpGt, NumVal: 2005}
+	q := simpleQuery([]string{"movie_companies", "title", "company_type"},
+		[]plan.JoinCond{mcTitle, mcCt},
+		map[string]sqlpred.Pred{"title": f})
+	root, err := p.Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := testEng.Run(root); err != nil {
+		t.Fatal(err)
+	}
+	got := root.CardinalityNode().TrueRows
+
+	// Brute-force oracle.
+	mc := testDB.Table("movie_companies")
+	title := testDB.Table("title")
+	years := title.IntColumn("production_year")
+	movieIDs := mc.IntColumn("movie_id")
+	want := 0
+	for _, m := range movieIDs {
+		if years[title.PKRow(m)] > 2005 {
+			want++
+		}
+	}
+	if int(got) != want {
+		t.Fatalf("planned cardinality %g, oracle %d\n%s", got, want, root)
+	}
+}
+
+func TestPlanUsesIndexForSelectiveFilter(t *testing.T) {
+	p := newPlanner()
+	// Highly selective PK condition: planner should pick the index scan.
+	f := &sqlpred.Atom{Table: "title", Column: "id", Op: sqlpred.OpEq, NumVal: 5}
+	q := simpleQuery([]string{"title"}, nil, map[string]sqlpred.Pred{"title": f})
+	root, err := p.Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.Left.Type != plan.IndexScan {
+		t.Errorf("access path = %v, want IndexScan\n%s", root.Left.Type, root)
+	}
+}
+
+func TestPlanRejectsDisconnected(t *testing.T) {
+	p := newPlanner()
+	q := simpleQuery([]string{"title", "keyword"}, nil, nil)
+	if _, err := p.Plan(q); err == nil {
+		t.Fatal("disconnected query must fail to plan")
+	}
+}
+
+func TestQueryValidate(t *testing.T) {
+	bad := &query.Query{Tables: []string{"a", "a"}}
+	if err := bad.Validate(); err == nil {
+		t.Error("duplicate tables must fail")
+	}
+	bad = &query.Query{Tables: []string{"a"}, Joins: []plan.JoinCond{mcTitle}}
+	if err := bad.Validate(); err == nil {
+		t.Error("join on unlisted table must fail")
+	}
+	bad = &query.Query{Tables: []string{"title"},
+		Filters: map[string]sqlpred.Pred{"title": &sqlpred.Atom{Table: "other", Column: "x", Op: sqlpred.OpEq}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("filter referencing other table must fail")
+	}
+}
+
+func TestQuerySQLRendering(t *testing.T) {
+	f := &sqlpred.Atom{Table: "title", Column: "production_year", Op: sqlpred.OpGt, NumVal: 2000}
+	q := &query.Query{
+		Tables:  []string{"movie_companies", "title"},
+		Joins:   []plan.JoinCond{mcTitle},
+		Filters: map[string]sqlpred.Pred{"title": f},
+		Aggs: []plan.AggSpec{
+			{Func: plan.AggMin, Col: plan.ColRef{Table: "title", Column: "production_year"}},
+			{Func: plan.AggCount},
+		},
+	}
+	sql := q.SQL()
+	for _, want := range []string{"SELECT MIN(title.production_year), COUNT(*)",
+		"FROM movie_companies, title",
+		"movie_companies.movie_id = title.id",
+		"title.production_year > 2000"} {
+		if !contains(sql, want) {
+			t.Errorf("SQL %q missing %q", sql, want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 ||
+		indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,91 @@
+package sqlpred
+
+// DFSNode is one element of the depth-first linearization of a predicate
+// tree. Following Figure 4 of the paper, the tree is turned into a unique
+// sequence by appending an explicit padding element for every backtracking
+// step, which makes the encoding a one-to-one mapping.
+type DFSNode struct {
+	Kind DFSKind
+	Bool BoolKind // valid when Kind == DFSBool
+	Atom *Atom    // valid when Kind == DFSAtom
+}
+
+// DFSKind tags the kind of a linearized node.
+type DFSKind int
+
+// Linearized node kinds.
+const (
+	DFSAtom DFSKind = iota
+	DFSBool
+	DFSPad // backtracking marker ("None" in Figure 4)
+)
+
+// Linearize converts a predicate tree into its DFS sequence with backtrack
+// padding. A nil predicate yields an empty sequence.
+func Linearize(p Pred) []DFSNode {
+	var seq []DFSNode
+	var rec func(Pred)
+	rec = func(n Pred) {
+		switch v := n.(type) {
+		case *Atom:
+			seq = append(seq, DFSNode{Kind: DFSAtom, Atom: v})
+		case *Bool:
+			seq = append(seq, DFSNode{Kind: DFSBool, Bool: v.Kind})
+			rec(v.Left)
+			seq = append(seq, DFSNode{Kind: DFSPad})
+			rec(v.Right)
+			seq = append(seq, DFSNode{Kind: DFSPad})
+		}
+	}
+	if p != nil {
+		rec(p)
+	}
+	return seq
+}
+
+// Delinearize reconstructs the predicate tree from a DFS sequence produced
+// by Linearize, proving the mapping is one-to-one. It returns nil for an
+// empty sequence and false if the sequence is malformed.
+func Delinearize(seq []DFSNode) (Pred, bool) {
+	pos := 0
+	var rec func() (Pred, bool)
+	rec = func() (Pred, bool) {
+		if pos >= len(seq) {
+			return nil, false
+		}
+		n := seq[pos]
+		pos++
+		switch n.Kind {
+		case DFSAtom:
+			return n.Atom, true
+		case DFSBool:
+			left, ok := rec()
+			if !ok {
+				return nil, false
+			}
+			if pos >= len(seq) || seq[pos].Kind != DFSPad {
+				return nil, false
+			}
+			pos++
+			right, ok := rec()
+			if !ok {
+				return nil, false
+			}
+			if pos >= len(seq) || seq[pos].Kind != DFSPad {
+				return nil, false
+			}
+			pos++
+			return &Bool{Kind: n.Bool, Left: left, Right: right}, true
+		default:
+			return nil, false
+		}
+	}
+	if len(seq) == 0 {
+		return nil, true
+	}
+	p, ok := rec()
+	if !ok || pos != len(seq) {
+		return nil, false
+	}
+	return p, true
+}

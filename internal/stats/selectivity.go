@@ -1,0 +1,187 @@
+package stats
+
+import (
+	"math"
+
+	"costest/internal/schema"
+	"costest/internal/sqlpred"
+)
+
+// defaultMatchSel is PostgreSQL's DEFAULT_MATCH_SEL fallback for pattern
+// predicates when neither MCVs nor histogram bounds provide signal.
+const defaultMatchSel = 0.005
+
+// defaultEqSel is the fallback equality selectivity for columns with no
+// statistics.
+const defaultEqSel = 0.005
+
+// AtomSelectivity estimates the fraction of a table's rows satisfying one
+// atomic predicate, the way PostgreSQL's scalar selectivity functions do:
+// MCV lists answer equality exactly for frequent values, equi-depth
+// histograms answer ranges, and pattern predicates are evaluated against the
+// MCVs and histogram bounds.
+func (c *Catalog) AtomSelectivity(a *sqlpred.Atom) float64 {
+	cs := c.Column(a.Table, a.Column)
+	if cs == nil {
+		return defaultEqSel
+	}
+	var sel float64
+	if cs.Type == schema.IntCol && !a.IsStr {
+		sel = c.numAtomSel(cs, a)
+	} else if cs.Type == schema.StringCol && a.IsStr {
+		sel = c.strAtomSel(cs, a)
+	} else {
+		sel = defaultEqSel
+	}
+	return clampSel(sel)
+}
+
+func clampSel(s float64) float64 {
+	if math.IsNaN(s) {
+		return defaultEqSel
+	}
+	if s < 0 {
+		return 0
+	}
+	if s > 1 {
+		return 1
+	}
+	return s
+}
+
+func (c *Catalog) numAtomSel(cs *ColumnStats, a *sqlpred.Atom) float64 {
+	v := a.NumVal
+	switch a.Op {
+	case sqlpred.OpEq:
+		return numEqSel(cs, v)
+	case sqlpred.OpNe:
+		return 1 - numEqSel(cs, v)
+	case sqlpred.OpLt:
+		return cs.NumHist.SelLess(v)
+	case sqlpred.OpLe:
+		return cs.NumHist.SelLess(v) + numEqSel(cs, v)
+	case sqlpred.OpGt:
+		return 1 - cs.NumHist.SelLess(v) - numEqSel(cs, v)
+	case sqlpred.OpGe:
+		return 1 - cs.NumHist.SelLess(v)
+	default:
+		return defaultEqSel
+	}
+}
+
+func numEqSel(cs *ColumnStats, v float64) float64 {
+	for _, m := range cs.MCVs {
+		if m.Num == v {
+			return m.Freq
+		}
+	}
+	rest := float64(cs.NDV - len(cs.MCVs))
+	if rest <= 0 {
+		return 0
+	}
+	if v < cs.Min || v > cs.Max {
+		return 0
+	}
+	return (1 - cs.MCVFreqTotal) / rest
+}
+
+func (c *Catalog) strAtomSel(cs *ColumnStats, a *sqlpred.Atom) float64 {
+	switch a.Op {
+	case sqlpred.OpEq:
+		return strEqSel(cs, a.StrVal)
+	case sqlpred.OpNe:
+		return 1 - strEqSel(cs, a.StrVal)
+	case sqlpred.OpIn:
+		var s float64
+		for _, v := range a.InVals {
+			s += strEqSel(cs, v)
+		}
+		return s
+	case sqlpred.OpLike:
+		return patternSel(cs, a.StrVal)
+	case sqlpred.OpNotLike:
+		return 1 - patternSel(cs, a.StrVal)
+	default:
+		return defaultMatchSel
+	}
+}
+
+func strEqSel(cs *ColumnStats, v string) float64 {
+	for _, m := range cs.MCVs {
+		if m.Str == v {
+			return m.Freq
+		}
+	}
+	rest := float64(cs.NDV - len(cs.MCVs))
+	if rest <= 0 {
+		return 0
+	}
+	return (1 - cs.MCVFreqTotal) / rest
+}
+
+// patternSel estimates a LIKE pattern's selectivity by evaluating it against
+// the MCV list and the histogram bounds, PostgreSQL's histogram_selectivity
+// approach for pattern matching.
+func patternSel(cs *ColumnStats, pattern string) float64 {
+	var mcvMatch float64
+	for _, m := range cs.MCVs {
+		if sqlpred.LikeMatch(pattern, m.Str) {
+			mcvMatch += m.Freq
+		}
+	}
+	histSel := defaultMatchSel
+	if cs.StrHist != nil && len(cs.StrHist.Bounds) > 1 {
+		n := 0
+		for _, b := range cs.StrHist.Bounds {
+			if sqlpred.LikeMatch(pattern, b) {
+				n++
+			}
+		}
+		if n > 0 {
+			histSel = float64(n) / float64(len(cs.StrHist.Bounds))
+		}
+	}
+	return mcvMatch + histSel*(1-cs.MCVFreqTotal)
+}
+
+// PredSelectivity estimates a (possibly compound) predicate's selectivity
+// under PostgreSQL's independence assumption: AND multiplies, OR applies
+// inclusion-exclusion. This assumption is exactly what breaks on correlated
+// data — the effect the learned estimator removes.
+func (c *Catalog) PredSelectivity(p sqlpred.Pred) float64 {
+	switch n := p.(type) {
+	case nil:
+		return 1
+	case *sqlpred.Atom:
+		return c.AtomSelectivity(n)
+	case *sqlpred.Bool:
+		l := c.PredSelectivity(n.Left)
+		r := c.PredSelectivity(n.Right)
+		if n.Kind == sqlpred.And {
+			return clampSel(l * r)
+		}
+		return clampSel(l + r - l*r)
+	default:
+		return defaultEqSel
+	}
+}
+
+// TrueSelectivity evaluates p exactly by scanning the table — used by tests
+// and the executor oracle, not by the baseline estimator.
+func (c *Catalog) TrueSelectivity(table string, p sqlpred.Pred) (float64, error) {
+	data := c.DB.Table(table)
+	if data == nil || data.NumRows == 0 {
+		return 0, nil
+	}
+	match, err := sqlpred.Compile(p, table, data)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for row := 0; row < data.NumRows; row++ {
+		if match(row) {
+			n++
+		}
+	}
+	return float64(n) / float64(data.NumRows), nil
+}

@@ -1,0 +1,84 @@
+package strembed
+
+import "sort"
+
+// Section 5 enumerates four intuitive string representations before the
+// learned embedding: one-hot, selectivity, sample bitmap and hash bitmap.
+// HashEmbedder lives in hash.go (it is the paper's measured baseline); this
+// file completes the enumeration with the one-hot and selectivity encoders
+// so the design space is fully explorable from the library.
+
+// OneHotEncoder maps each string seen at construction to its own bit. The
+// paper's criticism — "it cannot estimate an approximate result for unseen
+// string values" — is directly observable: unknown strings embed to zero.
+type OneHotEncoder struct {
+	index map[string]int
+	dim   int
+}
+
+// NewOneHotEncoder builds the encoder over a vocabulary, capping the
+// dimension at maxDim (extra strings share the zero vector).
+func NewOneHotEncoder(vocab []string, maxDim int) *OneHotEncoder {
+	sorted := make([]string, len(vocab))
+	copy(sorted, vocab)
+	sort.Strings(sorted)
+	e := &OneHotEncoder{index: make(map[string]int, len(sorted))}
+	for _, s := range sorted {
+		if _, dup := e.index[s]; dup {
+			continue
+		}
+		if maxDim > 0 && e.dim >= maxDim {
+			break
+		}
+		e.index[s] = e.dim
+		e.dim++
+	}
+	if maxDim > 0 {
+		e.dim = maxDim
+	}
+	return e
+}
+
+// Dim returns the vocabulary dimension.
+func (e *OneHotEncoder) Dim() int { return e.dim }
+
+// Embed returns the one-hot vector of the pattern core; unseen strings are
+// all zeros (the generalization failure the paper calls out).
+func (e *OneHotEncoder) Embed(pattern string) []float64 {
+	out := make([]float64, e.dim)
+	core, _, _ := patternCore(pattern)
+	if i, ok := e.index[core]; ok {
+		out[i] = 1
+	}
+	return out
+}
+
+// SelectivityFunc estimates the fraction of rows matching a pattern; the
+// stats catalog's pattern selectivity is the natural implementation.
+type SelectivityFunc func(pattern string) float64
+
+// SelectivityEncoder is the paper's "selectivity embedding": the string is
+// represented by a single number, its estimated selectivity. It generalizes
+// to unseen strings but, as the paper notes, "can not reflect the details on
+// which tuples satisfy the predicate".
+type SelectivityEncoder struct {
+	Sel SelectivityFunc
+}
+
+// Dim returns 1.
+func (e SelectivityEncoder) Dim() int { return 1 }
+
+// Embed returns the one-element selectivity vector.
+func (e SelectivityEncoder) Embed(pattern string) []float64 {
+	if e.Sel == nil {
+		return []float64{0}
+	}
+	s := e.Sel(pattern)
+	if s < 0 {
+		s = 0
+	}
+	if s > 1 {
+		s = 1
+	}
+	return []float64{s}
+}

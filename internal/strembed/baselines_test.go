@@ -1,0 +1,65 @@
+package strembed
+
+import "testing"
+
+func TestOneHotEncoder(t *testing.T) {
+	e := NewOneHotEncoder([]string{"(presents)", "(co-production)", "(presents)"}, 0)
+	if e.Dim() != 2 {
+		t.Fatalf("Dim = %d, want 2 (dedup)", e.Dim())
+	}
+	a := e.Embed("(presents)")
+	ones := 0
+	for _, v := range a {
+		if v == 1 {
+			ones++
+		}
+	}
+	if ones != 1 {
+		t.Fatalf("one-hot has %d ones", ones)
+	}
+	// Pattern wildcards resolve to the core string.
+	b := e.Embed("%(presents)%")
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("pattern core must map to the same bit")
+		}
+	}
+	// The paper's criticism: unseen strings carry no information.
+	for _, v := range e.Embed("unseen value") {
+		if v != 0 {
+			t.Fatal("unseen string must embed to zeros")
+		}
+	}
+}
+
+func TestOneHotEncoderCap(t *testing.T) {
+	e := NewOneHotEncoder([]string{"a", "b", "c", "d"}, 2)
+	if e.Dim() != 2 {
+		t.Fatalf("Dim = %d, want capped 2", e.Dim())
+	}
+	if len(e.Embed("a")) != 2 {
+		t.Fatal("embed length must equal capped dim")
+	}
+}
+
+func TestSelectivityEncoder(t *testing.T) {
+	e := SelectivityEncoder{Sel: func(p string) float64 {
+		if p == "%rare%" {
+			return 0.001
+		}
+		return 2.5 // deliberately out of range
+	}}
+	if e.Dim() != 1 {
+		t.Fatal("Dim must be 1")
+	}
+	if v := e.Embed("%rare%"); v[0] != 0.001 {
+		t.Fatalf("Embed = %v", v)
+	}
+	if v := e.Embed("%common%"); v[0] != 1 {
+		t.Fatalf("out-of-range selectivity must clamp, got %v", v)
+	}
+	var nilSel SelectivityEncoder
+	if v := nilSel.Embed("x"); v[0] != 0 {
+		t.Fatal("nil selectivity func must embed 0")
+	}
+}

@@ -1,0 +1,385 @@
+// Package strembed implements the paper's string-embedding pipeline
+// (Section 5): pattern-rule generation and greedy budgeted selection
+// (Algorithm 1), substring dictionaries, skip-gram embeddings trained on
+// per-tuple co-occurrence, prefix/suffix trie indexes with longest-match
+// online lookup, and the hash-bitmap baseline embedding.
+package strembed
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Class is a pattern-token class from the paper's DSL: capital letters P_C,
+// lowercase letters P_l, digits P_n, whitespace P_s, and exact tokens P_t(T).
+type Class int
+
+// Pattern token classes.
+const (
+	ClassUpper Class = iota // P_C = [A-Z]+
+	ClassLower              // P_l = [a-z]+
+	ClassDigit              // P_n = [0-9]+
+	ClassSpace              // P_s = whitespace+
+	ClassLit                // P_t(T): exact token
+)
+
+// PatToken is one element of a pattern.
+type PatToken struct {
+	Class Class
+	Lit   string // for ClassLit
+}
+
+func (t PatToken) String() string {
+	switch t.Class {
+	case ClassUpper:
+		return "PC"
+	case ClassLower:
+		return "Pl"
+	case ClassDigit:
+		return "Pn"
+	case ClassSpace:
+		return "Ps"
+	default:
+		return fmt.Sprintf("Pt(%q)", t.Lit)
+	}
+}
+
+// Fn is the rule's string function: extract the match's prefix or suffix.
+type Fn int
+
+// String functions.
+const (
+	Prefix Fn = iota
+	Suffix
+)
+
+func (f Fn) String() string {
+	if f == Prefix {
+		return "Prefix"
+	}
+	return "Suffix"
+}
+
+// Rule is ⟨F, P, L⟩: apply pattern P to tuple values, extract the prefix or
+// suffix of length L from every match.
+type Rule struct {
+	Fn      Fn
+	Pattern []PatToken
+	Length  int
+	// Table/Column scope the rule to the column whose values produced it.
+	Table, Column string
+}
+
+// Key returns a canonical identity string for deduplication.
+func (r Rule) Key() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s|%d|%s.%s|", r.Fn, r.Length, r.Table, r.Column)
+	for _, t := range r.Pattern {
+		b.WriteString(t.String())
+	}
+	return b.String()
+}
+
+func (r Rule) String() string {
+	toks := make([]string, len(r.Pattern))
+	for i, t := range r.Pattern {
+		toks[i] = t.String()
+	}
+	return fmt.Sprintf("⟨%s, %s, %d⟩", r.Fn, strings.Join(toks, ""), r.Length)
+}
+
+// classOf buckets a byte into its run class; punctuation and other bytes get
+// ClassLit.
+func classOf(c byte) Class {
+	switch {
+	case c >= 'A' && c <= 'Z':
+		return ClassUpper
+	case c >= 'a' && c <= 'z':
+		return ClassLower
+	case c >= '0' && c <= '9':
+		return ClassDigit
+	case c == ' ' || c == '\t':
+		return ClassSpace
+	default:
+		return ClassLit
+	}
+}
+
+// segment splits s into maximal same-class runs; punctuation runs become
+// exact-token runs.
+func segment(s string) []PatToken {
+	var out []PatToken
+	for i := 0; i < len(s); {
+		c := classOf(s[i])
+		j := i + 1
+		for j < len(s) && classOf(s[j]) == c {
+			j++
+		}
+		tok := PatToken{Class: c}
+		if c == ClassLit {
+			tok.Lit = s[i:j]
+		}
+		out = append(out, tok)
+		i = j
+	}
+	return out
+}
+
+// matchAt attempts to match the pattern at position start of s using greedy
+// maximal-run semantics, returning the end offset and ok.
+func matchAt(s string, start int, pattern []PatToken) (int, bool) {
+	pos := start
+	for _, t := range pattern {
+		if t.Class == ClassLit {
+			if !strings.HasPrefix(s[pos:], t.Lit) {
+				return 0, false
+			}
+			pos += len(t.Lit)
+			continue
+		}
+		// Maximal run of the class; must be non-empty.
+		j := pos
+		for j < len(s) && classOf(s[j]) == t.Class {
+			j++
+		}
+		if j == pos {
+			return 0, false
+		}
+		pos = j
+	}
+	return pos, true
+}
+
+// Extract applies the rule to a tuple value, returning the extracted
+// substrings (one per pattern match; overlapping matches at different start
+// positions are all considered, as the paper's extraction is exhaustive).
+func (r Rule) Extract(value string) []string {
+	var out []string
+	for start := 0; start < len(value); start++ {
+		end, ok := matchAt(value, start, r.Pattern)
+		if !ok {
+			continue
+		}
+		m := value[start:end]
+		if len(m) < r.Length {
+			continue
+		}
+		if r.Fn == Prefix {
+			out = append(out, m[:r.Length])
+		} else {
+			out = append(out, m[len(m)-r.Length:])
+		}
+		// Matches starting inside this match are still explored, but the
+		// common case advances past single-position duplicates quickly.
+	}
+	return dedupStrings(out)
+}
+
+func dedupStrings(in []string) []string {
+	if len(in) < 2 {
+		return in
+	}
+	seen := make(map[string]bool, len(in))
+	out := in[:0]
+	for _, s := range in {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// MatchKind classifies how a workload query string matches tuple values.
+type MatchKind int
+
+// Match kinds: exact (=/IN), anchored prefix (LIKE 'q%'), anchored suffix
+// (LIKE '%q') and containment (LIKE '%q%').
+const (
+	MatchExact MatchKind = iota
+	MatchPrefix
+	MatchSuffix
+	MatchContains
+)
+
+// WorkloadString is one string literal from the query workload, scoped to
+// the column it filters.
+type WorkloadString struct {
+	Table, Column string
+	S             string // the pattern core, % stripped
+	Kind          MatchKind
+}
+
+// maxCandidateRegions bounds region growth per occurrence; combos per region
+// are bounded by maxComboRuns class runs.
+const (
+	maxCandidateRegions = 6
+	maxComboRuns        = 5
+)
+
+// CandidateRules generates candidate rules for a workload string against one
+// matching tuple value, the way Tables 4 and 5 of the paper enumerate them:
+// every region extending the occurrence to successive run boundaries, with
+// every class/literal pattern combination for the region.
+func CandidateRules(w WorkloadString, value string) []Rule {
+	if w.S == "" || len(w.S) > len(value) {
+		return nil
+	}
+	var rules []Rule
+	add := func(fn Fn, region string, endAtBoundary bool) {
+		for _, pat := range regionPatterns(region, w.S, fn) {
+			if fn == Suffix && !suffixPatternSound(pat, w.S, endAtBoundary) {
+				continue
+			}
+			rules = append(rules, Rule{Fn: fn, Pattern: pat, Length: len(w.S),
+				Table: w.Table, Column: w.Column})
+		}
+	}
+	// Occurrences of the query string inside the value.
+	for off := 0; ; {
+		i := strings.Index(value[off:], w.S)
+		if i < 0 {
+			break
+		}
+		pos := off + i
+		end := pos + len(w.S)
+		if w.Kind == MatchPrefix || w.Kind == MatchContains || w.Kind == MatchExact {
+			// Regions grow rightward from the occurrence to run boundaries.
+			// Greedy matching only overshoots to the right, which the
+			// prefix-L cut absorbs, so every grown region is sound.
+			for n, stop := 0, end; n < maxCandidateRegions; n++ {
+				add(Prefix, value[pos:stop], true)
+				next := runBoundaryRight(value, stop)
+				if next == stop {
+					break
+				}
+				stop = next
+			}
+		}
+		if w.Kind == MatchSuffix || w.Kind == MatchContains {
+			// Regions grow leftward from the occurrence. If the occurrence
+			// ends mid-run, greedy class matching would extend past it, so
+			// only literal-terminated patterns stay sound (checked in add).
+			boundary := end == len(value) || classOf(value[end]) != classOf(value[end-1])
+			for n, start := 0, pos; n < maxCandidateRegions; n++ {
+				add(Suffix, value[start:end], boundary)
+				next := runBoundaryLeft(value, start)
+				if next == start {
+					break
+				}
+				start = next
+			}
+		}
+		off = pos + 1
+	}
+	return dedupRules(rules)
+}
+
+// runBoundaryRight returns the end of the class run beginning at pos (or pos
+// if at end of string).
+func runBoundaryRight(s string, pos int) int {
+	if pos >= len(s) {
+		return pos
+	}
+	c := classOf(s[pos])
+	j := pos + 1
+	for j < len(s) && classOf(s[j]) == c {
+		j++
+	}
+	return j
+}
+
+// runBoundaryLeft returns the start of the class run ending just before pos
+// (or pos if at the beginning).
+func runBoundaryLeft(s string, pos int) int {
+	if pos <= 0 {
+		return pos
+	}
+	c := classOf(s[pos-1])
+	j := pos - 1
+	for j > 0 && classOf(s[j-1]) == c {
+		j--
+	}
+	return j
+}
+
+// regionPatterns enumerates patterns matching the region whose Prefix/Suffix
+// of len(q) equals q: all class/literal run combinations, plus the anchored
+// pattern that pins q itself as a literal.
+func regionPatterns(region, q string, fn Fn) [][]PatToken {
+	runs := segment(region)
+	var out [][]PatToken
+	if len(runs) <= maxComboRuns {
+		combos := 1 << uint(len(runs))
+		for c := 0; c < combos; c++ {
+			pat := make([]PatToken, len(runs))
+			pos := 0
+			for i, r := range runs {
+				runLen := runLength(region, pos, r)
+				if c&(1<<uint(i)) != 0 || r.Class == ClassLit {
+					pat[i] = PatToken{Class: ClassLit, Lit: region[pos : pos+runLen]}
+				} else {
+					pat[i] = r
+				}
+				pos += runLen
+			}
+			out = append(out, pat)
+		}
+	} else {
+		// Region too fragmented: keep the all-class pattern only.
+		out = append(out, segment(region))
+	}
+	// Anchored pattern: P_t(q) followed/preceded by the class runs of the
+	// remainder (e.g. ⟨Prefix, Pt("Din")Pl, 3⟩).
+	if fn == Prefix && len(q) < len(region) && strings.HasPrefix(region, q) {
+		rest := segment(region[len(q):])
+		out = append(out, append([]PatToken{{Class: ClassLit, Lit: q}}, rest...))
+	}
+	if fn == Suffix && len(q) < len(region) && strings.HasSuffix(region, q) {
+		rest := segment(region[:len(region)-len(q)])
+		out = append(out, append(rest, PatToken{Class: ClassLit, Lit: q}))
+	}
+	return out
+}
+
+// suffixPatternSound rejects suffix patterns that greedy maximal-run
+// matching cannot anchor at the query string: (a) class-terminated patterns
+// whose region ends mid-run in the source value would overshoot to the
+// right; (b) anchored patterns whose P_t(q) literal follows a class token of
+// q's own starting class would have the class token swallow q.
+func suffixPatternSound(pat []PatToken, q string, endAtBoundary bool) bool {
+	if len(pat) == 0 || len(q) == 0 {
+		return false
+	}
+	last := pat[len(pat)-1]
+	if last.Class != ClassLit && !endAtBoundary {
+		return false
+	}
+	if last.Class == ClassLit && last.Lit == q && len(pat) > 1 {
+		prev := pat[len(pat)-2]
+		if prev.Class != ClassLit && prev.Class == classOf(q[0]) {
+			return false
+		}
+	}
+	return true
+}
+
+func runLength(region string, pos int, tok PatToken) int {
+	if tok.Class == ClassLit && tok.Lit != "" {
+		return len(tok.Lit)
+	}
+	return runBoundaryRight(region, pos) - pos
+}
+
+func dedupRules(in []Rule) []Rule {
+	seen := make(map[string]bool, len(in))
+	out := in[:0]
+	for _, r := range in {
+		k := r.Key()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, r)
+		}
+	}
+	return out
+}

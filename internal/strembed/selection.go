@@ -1,0 +1,132 @@
+package strembed
+
+import "sort"
+
+// SelectionResult reports the outcome of rule selection.
+type SelectionResult struct {
+	Rules []Rule
+	// Dict is S_R: every substring extracted by the selected rules.
+	Dict map[string]bool
+	// Covered counts workload strings covered by the dictionary.
+	Covered int
+}
+
+// SelectRules implements Algorithm 1: greedily pick the minimum number of
+// rules whose extracted substring set S_R covers the workload strings S_W,
+// subject to |S_R| <= budget. Each candidate is evaluated over the distinct
+// values of its own column (valuesByColumn is keyed "table.column").
+//
+// The paper's pseudocode orders candidates by extraneous extraction count
+// |S_r − S_W| and evicts the rule with the worst useful ratio
+// |S_R ∩ S_W|/|S_R| when the budget is exceeded; this implementation keeps
+// both behaviours: candidates are greedily chosen to maximize newly covered
+// workload strings with ties broken toward fewer extraneous extractions, and
+// budget violations evict the worst-ratio rule and mark it ineligible.
+func SelectRules(cands []Rule, sw []WorkloadString, valuesByColumn map[string][]string, budget int) SelectionResult {
+	want := make(map[string]bool, len(sw))
+	for _, w := range sw {
+		want[w.S] = true
+	}
+	type scored struct {
+		rule    Rule
+		extract map[string]bool // S_r
+		useful  int             // |S_r ∩ S_W|
+	}
+	items := make([]scored, 0, len(cands))
+	for _, r := range cands {
+		vals := valuesByColumn[r.Table+"."+r.Column]
+		ex := make(map[string]bool)
+		for _, v := range vals {
+			for _, s := range r.Extract(v) {
+				ex[s] = true
+			}
+		}
+		useful := 0
+		for s := range ex {
+			if want[s] {
+				useful++
+			}
+		}
+		if useful == 0 {
+			continue // rules covering nothing can never help
+		}
+		items = append(items, scored{rule: r, extract: ex, useful: useful})
+	}
+	// Deterministic base order: fewer extraneous extractions first (the
+	// paper's |S_r − S_W| sort), then rule key.
+	sort.Slice(items, func(i, j int) bool {
+		ei := len(items[i].extract) - items[i].useful
+		ej := len(items[j].extract) - items[j].useful
+		if ei != ej {
+			return ei < ej
+		}
+		return items[i].rule.Key() < items[j].rule.Key()
+	})
+
+	covered := make(map[string]bool)
+	dict := make(map[string]bool)
+	var selected []scored
+	banned := make(map[string]bool)
+
+	for {
+		bestIdx, bestGain, bestExtra := -1, 0, 0
+		for i := range items {
+			if banned[items[i].rule.Key()] {
+				continue
+			}
+			gain := 0
+			for s := range items[i].extract {
+				if want[s] && !covered[s] {
+					gain++
+				}
+			}
+			extra := len(items[i].extract) - items[i].useful
+			if gain > bestGain || (gain == bestGain && gain > 0 && extra < bestExtra) {
+				bestIdx, bestGain, bestExtra = i, gain, extra
+			}
+		}
+		if bestIdx < 0 || bestGain == 0 {
+			break
+		}
+		pick := items[bestIdx]
+		banned[pick.rule.Key()] = true
+		selected = append(selected, pick)
+		for s := range pick.extract {
+			dict[s] = true
+			if want[s] {
+				covered[s] = true
+			}
+		}
+		// Budget enforcement: evict the rule with the worst useful ratio.
+		for budget > 0 && len(dict) > budget && len(selected) > 1 {
+			worst, worstRatio := -1, 2.0
+			for i, sel := range selected {
+				ratio := float64(sel.useful) / float64(len(sel.extract))
+				if ratio < worstRatio {
+					worst, worstRatio = i, ratio
+				}
+			}
+			if worst < 0 {
+				break
+			}
+			selected = append(selected[:worst], selected[worst+1:]...)
+			// Rebuild dict and coverage from the survivors.
+			dict = make(map[string]bool)
+			covered = make(map[string]bool)
+			for _, sel := range selected {
+				for s := range sel.extract {
+					dict[s] = true
+					if want[s] {
+						covered[s] = true
+					}
+				}
+			}
+		}
+	}
+
+	res := SelectionResult{Dict: dict, Covered: len(covered)}
+	for _, sel := range selected {
+		res.Rules = append(res.Rules, sel.rule)
+	}
+	return res
+}

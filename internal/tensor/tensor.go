@@ -1,0 +1,319 @@
+// Package tensor provides the small dense linear-algebra kernel that the
+// neural-network stack is built on: vectors, row-major matrices, matrix-vector
+// products, outer-product accumulation and elementwise operations.
+//
+// Everything is float64 and allocation-conscious: all hot-path functions take
+// destination slices so training loops can preallocate buffers.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Vec is a dense float64 vector.
+type Vec = []float64
+
+// NewVec returns a zeroed vector of length n.
+func NewVec(n int) Vec { return make(Vec, n) }
+
+// Mat is a dense row-major matrix: element (i, j) is Data[i*Cols+j].
+type Mat struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMat returns a zeroed Rows x Cols matrix.
+func NewMat(rows, cols int) *Mat {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: invalid matrix shape %dx%d", rows, cols))
+	}
+	return &Mat{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns element (i, j).
+func (m *Mat) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Mat) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view (not a copy) of row i.
+func (m *Mat) Row(i int) Vec { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy of m.
+func (m *Mat) Clone() *Mat {
+	c := NewMat(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Zero resets all elements to zero.
+func (m *Mat) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// XavierInit fills m with uniform Xavier/Glorot initialization using rng,
+// which keeps forward/backward variance stable for tanh/sigmoid layers.
+func (m *Mat) XavierInit(rng *rand.Rand) {
+	limit := math.Sqrt(6.0 / float64(m.Rows+m.Cols))
+	for i := range m.Data {
+		m.Data[i] = (rng.Float64()*2 - 1) * limit
+	}
+}
+
+// KaimingInit fills m with scaled normal init suited to ReLU layers.
+func (m *Mat) KaimingInit(rng *rand.Rand) {
+	std := math.Sqrt(2.0 / float64(m.Cols))
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64() * std
+	}
+}
+
+// MatVec computes dst = m * x. dst must have length m.Rows and x length
+// m.Cols; dst must not alias x.
+func MatVec(dst Vec, m *Mat, x Vec) {
+	if len(dst) != m.Rows || len(x) != m.Cols {
+		panic(fmt.Sprintf("tensor: MatVec shape mismatch: m %dx%d, x %d, dst %d", m.Rows, m.Cols, len(x), len(dst)))
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		dst[i] = s
+	}
+}
+
+// MatVecAdd computes dst = m*x + b.
+func MatVecAdd(dst Vec, m *Mat, x, b Vec) {
+	MatVec(dst, m, x)
+	AddTo(dst, b)
+}
+
+// MatTVec computes dst = mᵀ * x (used for input gradients). dst must have
+// length m.Cols and x length m.Rows; dst must not alias x.
+func MatTVec(dst Vec, m *Mat, x Vec) {
+	if len(dst) != m.Cols || len(x) != m.Rows {
+		panic(fmt.Sprintf("tensor: MatTVec shape mismatch: m %dx%d, x %d, dst %d", m.Rows, m.Cols, len(x), len(dst)))
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
+	for i := 0; i < m.Rows; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, v := range row {
+			dst[j] += v * xi
+		}
+	}
+}
+
+// AddOuter accumulates dst += a ⊗ b (outer product), the weight-gradient
+// update for a linear layer with upstream gradient a and input b.
+func AddOuter(dst *Mat, a, b Vec) {
+	if len(a) != dst.Rows || len(b) != dst.Cols {
+		panic(fmt.Sprintf("tensor: AddOuter shape mismatch: dst %dx%d, a %d, b %d", dst.Rows, dst.Cols, len(a), len(b)))
+	}
+	for i, ai := range a {
+		if ai == 0 {
+			continue
+		}
+		row := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+		for j, bj := range b {
+			row[j] += ai * bj
+		}
+	}
+}
+
+// AddTo computes dst += src elementwise.
+func AddTo(dst, src Vec) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("tensor: AddTo length mismatch %d vs %d", len(dst), len(src)))
+	}
+	for i, v := range src {
+		dst[i] += v
+	}
+}
+
+// AddScaled computes dst += alpha*src elementwise.
+func AddScaled(dst Vec, alpha float64, src Vec) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("tensor: AddScaled length mismatch %d vs %d", len(dst), len(src)))
+	}
+	for i, v := range src {
+		dst[i] += alpha * v
+	}
+}
+
+// Scale computes dst *= alpha elementwise.
+func Scale(dst Vec, alpha float64) {
+	for i := range dst {
+		dst[i] *= alpha
+	}
+}
+
+// MulTo computes dst *= src elementwise (Hadamard product).
+func MulTo(dst, src Vec) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("tensor: MulTo length mismatch %d vs %d", len(dst), len(src)))
+	}
+	for i, v := range src {
+		dst[i] *= v
+	}
+}
+
+// Copy copies src into dst.
+func Copy(dst, src Vec) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("tensor: Copy length mismatch %d vs %d", len(dst), len(src)))
+	}
+	copy(dst, src)
+}
+
+// ZeroVec resets all elements of v to zero.
+func ZeroVec(v Vec) {
+	for i := range v {
+		v[i] = 0
+	}
+}
+
+// Dot returns the inner product of a and b.
+func Dot(a, b Vec) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("tensor: Dot length mismatch %d vs %d", len(a), len(b)))
+	}
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v Vec) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// Concat writes the concatenation of parts into dst and returns the number of
+// elements written. dst must be at least as long as the sum of part lengths.
+func Concat(dst Vec, parts ...Vec) int {
+	off := 0
+	for _, p := range parts {
+		n := copy(dst[off:], p)
+		if n != len(p) {
+			panic("tensor: Concat destination too short")
+		}
+		off += n
+	}
+	return off
+}
+
+// Mean computes dst = (a+b)/2 elementwise.
+func Mean(dst, a, b Vec) {
+	if len(dst) != len(a) || len(a) != len(b) {
+		panic("tensor: Mean length mismatch")
+	}
+	for i := range dst {
+		dst[i] = (a[i] + b[i]) / 2
+	}
+}
+
+// MinInto computes dst = min(a, b) elementwise.
+func MinInto(dst, a, b Vec) {
+	if len(dst) != len(a) || len(a) != len(b) {
+		panic("tensor: MinInto length mismatch")
+	}
+	for i := range dst {
+		dst[i] = math.Min(a[i], b[i])
+	}
+}
+
+// MatMulInto computes dst = a * b for row-major matrices (a: m×k, b: k×n,
+// dst: m×n), overwriting dst. The ikj loop order streams b's rows, which is
+// what makes level-batched evaluation beat repeated MatVec calls.
+func MatMulInto(dst, a, b *Mat) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulInto shape mismatch: a %dx%d, b %dx%d, dst %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	dst.Zero()
+	// Feature rows of b that are entirely zero (common for sparse one-hot
+	// inputs) contribute nothing; skip them wholesale.
+	nz := make([]bool, b.Rows)
+	for l := 0; l < b.Rows; l++ {
+		row := b.Data[l*b.Cols : (l+1)*b.Cols]
+		for _, v := range row {
+			if v != 0 {
+				nz[l] = true
+				break
+			}
+		}
+	}
+	for i := 0; i < a.Rows; i++ {
+		aRow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		dRow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+		for l, av := range aRow {
+			if av == 0 || !nz[l] {
+				continue
+			}
+			bRow := b.Data[l*b.Cols : (l+1)*b.Cols]
+			for j, bv := range bRow {
+				dRow[j] += av * bv
+			}
+		}
+	}
+}
+
+// AddColumn accumulates dst += scale * column j of m (dst length m.Rows).
+// Sparse inputs (one-hot and bitmap features) turn a dense MatVec into a few
+// column adds.
+func AddColumn(dst Vec, m *Mat, j int, scale float64) {
+	for i := 0; i < m.Rows; i++ {
+		dst[i] += scale * m.Data[i*m.Cols+j]
+	}
+}
+
+// MatMulTransBInto computes dst = a * bᵀ for row-major matrices
+// (a: m×k, bt: n×k, dst: m×n). Both operands stream contiguous rows — the
+// cache-friendly kernel for level-batched evaluation, where bt holds one
+// node's input per row.
+func MatMulTransBInto(dst, a, bt *Mat) {
+	if a.Cols != bt.Cols || dst.Rows != a.Rows || dst.Cols != bt.Rows {
+		panic(fmt.Sprintf("tensor: MatMulTransBInto shape mismatch: a %dx%d, bt %dx%d, dst %dx%d",
+			a.Rows, a.Cols, bt.Rows, bt.Cols, dst.Rows, dst.Cols))
+	}
+	k := a.Cols
+	for i := 0; i < a.Rows; i++ {
+		aRow := a.Data[i*k : (i+1)*k]
+		dRow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+		for j := 0; j < bt.Rows; j++ {
+			bRow := bt.Data[j*k : (j+1)*k]
+			var s float64
+			for l, av := range aRow {
+				s += av * bRow[l]
+			}
+			dRow[j] = s
+		}
+	}
+}
+
+// MaxInto computes dst = max(a, b) elementwise.
+func MaxInto(dst, a, b Vec) {
+	if len(dst) != len(a) || len(a) != len(b) {
+		panic("tensor: MaxInto length mismatch")
+	}
+	for i := range dst {
+		dst[i] = math.Max(a[i], b[i])
+	}
+}

@@ -1,0 +1,210 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMatVec(t *testing.T) {
+	m := NewMat(2, 3)
+	copy(m.Data, []float64{1, 2, 3, 4, 5, 6})
+	x := Vec{1, 0, -1}
+	dst := NewVec(2)
+	MatVec(dst, m, x)
+	if !almostEqual(dst[0], -2) || !almostEqual(dst[1], -2) {
+		t.Fatalf("MatVec = %v, want [-2 -2]", dst)
+	}
+}
+
+func TestMatVecAdd(t *testing.T) {
+	m := NewMat(2, 2)
+	copy(m.Data, []float64{1, 0, 0, 1})
+	dst := NewVec(2)
+	MatVecAdd(dst, m, Vec{3, 4}, Vec{1, -1})
+	if !almostEqual(dst[0], 4) || !almostEqual(dst[1], 3) {
+		t.Fatalf("MatVecAdd = %v, want [4 3]", dst)
+	}
+}
+
+func TestMatTVec(t *testing.T) {
+	m := NewMat(2, 3)
+	copy(m.Data, []float64{1, 2, 3, 4, 5, 6})
+	x := Vec{1, 1}
+	dst := NewVec(3)
+	MatTVec(dst, m, x)
+	want := Vec{5, 7, 9}
+	for i := range want {
+		if !almostEqual(dst[i], want[i]) {
+			t.Fatalf("MatTVec = %v, want %v", dst, want)
+		}
+	}
+}
+
+// MatTVec must agree with an explicit transpose followed by MatVec.
+func TestMatTVecMatchesExplicitTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := NewMat(5, 4)
+	m.XavierInit(rng)
+	x := NewVec(5)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	got := NewVec(4)
+	MatTVec(got, m, x)
+
+	mt := NewMat(4, 5)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			mt.Set(j, i, m.At(i, j))
+		}
+	}
+	want := NewVec(4)
+	MatVec(want, mt, x)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("MatTVec mismatch at %d: %g vs %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAddOuter(t *testing.T) {
+	m := NewMat(2, 2)
+	AddOuter(m, Vec{1, 2}, Vec{3, 4})
+	want := []float64{3, 4, 6, 8}
+	for i := range want {
+		if !almostEqual(m.Data[i], want[i]) {
+			t.Fatalf("AddOuter = %v, want %v", m.Data, want)
+		}
+	}
+	// Accumulation, not overwrite.
+	AddOuter(m, Vec{1, 0}, Vec{1, 1})
+	if !almostEqual(m.At(0, 0), 4) || !almostEqual(m.At(0, 1), 5) {
+		t.Fatalf("AddOuter should accumulate, got %v", m.Data)
+	}
+}
+
+func TestConcat(t *testing.T) {
+	dst := NewVec(5)
+	n := Concat(dst, Vec{1, 2}, Vec{3}, Vec{4, 5})
+	if n != 5 {
+		t.Fatalf("Concat wrote %d elements, want 5", n)
+	}
+	for i, want := range []float64{1, 2, 3, 4, 5} {
+		if dst[i] != want {
+			t.Fatalf("Concat = %v", dst)
+		}
+	}
+}
+
+func TestMinMaxMean(t *testing.T) {
+	a, b := Vec{1, 5, -2}, Vec{3, 2, -2}
+	dst := NewVec(3)
+	MinInto(dst, a, b)
+	if dst[0] != 1 || dst[1] != 2 || dst[2] != -2 {
+		t.Fatalf("MinInto = %v", dst)
+	}
+	MaxInto(dst, a, b)
+	if dst[0] != 3 || dst[1] != 5 || dst[2] != -2 {
+		t.Fatalf("MaxInto = %v", dst)
+	}
+	Mean(dst, a, b)
+	if dst[0] != 2 || dst[1] != 3.5 || dst[2] != -2 {
+		t.Fatalf("Mean = %v", dst)
+	}
+}
+
+// Property: dot(Mx, y) == dot(x, Mᵀy) (adjoint identity backprop relies on).
+func TestAdjointProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols := 1+rng.Intn(8), 1+rng.Intn(8)
+		m := NewMat(rows, cols)
+		m.XavierInit(rng)
+		x, y := NewVec(cols), NewVec(rows)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		for i := range y {
+			y[i] = rng.NormFloat64()
+		}
+		mx := NewVec(rows)
+		MatVec(mx, m, x)
+		mty := NewVec(cols)
+		MatTVec(mty, m, y)
+		return math.Abs(Dot(mx, y)-Dot(x, mty)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: min(a,b) <= mean(a,b) <= max(a,b) elementwise.
+func TestPoolingBoundsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(16)
+		a, b := NewVec(n), NewVec(n)
+		for i := range a {
+			a[i], b[i] = rng.NormFloat64(), rng.NormFloat64()
+		}
+		lo, mid, hi := NewVec(n), NewVec(n), NewVec(n)
+		MinInto(lo, a, b)
+		Mean(mid, a, b)
+		MaxInto(hi, a, b)
+		for i := range lo {
+			if lo[i] > mid[i]+1e-12 || mid[i] > hi[i]+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScaleAddScaled(t *testing.T) {
+	v := Vec{1, 2, 3}
+	Scale(v, 2)
+	if v[0] != 2 || v[2] != 6 {
+		t.Fatalf("Scale = %v", v)
+	}
+	AddScaled(v, -1, Vec{2, 4, 6})
+	if Norm2(v) != 0 {
+		t.Fatalf("AddScaled = %v, want zeros", v)
+	}
+}
+
+func TestInitDistributions(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := NewMat(64, 64)
+	m.XavierInit(rng)
+	limit := math.Sqrt(6.0 / 128.0)
+	for _, v := range m.Data {
+		if v < -limit || v > limit {
+			t.Fatalf("Xavier value %g outside [-%g, %g]", v, limit, limit)
+		}
+	}
+	m.KaimingInit(rng)
+	var mean float64
+	for _, v := range m.Data {
+		mean += v
+	}
+	mean /= float64(len(m.Data))
+	if math.Abs(mean) > 0.05 {
+		t.Fatalf("Kaiming mean = %g, want ~0", mean)
+	}
+}
+
+func TestShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on shape mismatch")
+		}
+	}()
+	MatVec(NewVec(3), NewMat(2, 2), NewVec(2))
+}

@@ -1,0 +1,344 @@
+// Package workload generates query workloads the way Section 4.3 of the
+// paper describes — random connected table subsets from the PK-FK join
+// graph, numeric and string predicates with values drawn from the data,
+// AND/OR compound predicates, and MIN/MAX/COUNT projections — plus the named
+// evaluation workloads of Section 6.1 (Synthetic, Scale, JOB-light, the
+// JOB-style string workload, and the single-table string workload). It also
+// labels queries with ground truth by planning and executing them.
+package workload
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+
+	"costest/internal/dataset"
+	"costest/internal/plan"
+	"costest/internal/query"
+	"costest/internal/schema"
+	"costest/internal/sqlpred"
+)
+
+// Spec controls random query generation.
+type Spec struct {
+	MinJoins int
+	MaxJoins int
+	// MaxAtomsPerTable bounds the atomic predicates per filtered table.
+	MaxAtomsPerTable int
+	// StringProb is the probability a predicate atom targets a string
+	// column (0 disables string predicates entirely).
+	StringProb float64
+	// OrProb is the probability a connective in a compound predicate is OR
+	// rather than AND.
+	OrProb float64
+	// FilterProb is the probability a chosen table receives a filter.
+	FilterProb float64
+	// StartTables optionally restricts the random walk's starting table.
+	StartTables []string
+}
+
+// Generator produces random queries over a database.
+type Generator struct {
+	DB  *dataset.DB
+	rng *rand.Rand
+}
+
+// NewGenerator returns a seeded generator.
+func NewGenerator(db *dataset.DB, seed int64) *Generator {
+	return &Generator{DB: db, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Generate produces n random queries matching spec.
+func (g *Generator) Generate(spec Spec, n int) []*query.Query {
+	if spec.MaxAtomsPerTable <= 0 {
+		spec.MaxAtomsPerTable = 3
+	}
+	if spec.FilterProb == 0 {
+		spec.FilterProb = 0.8
+	}
+	out := make([]*query.Query, 0, n)
+	for len(out) < n {
+		q := g.generateOne(spec)
+		if q == nil {
+			continue
+		}
+		if err := q.Validate(); err != nil {
+			continue
+		}
+		out = append(out, q)
+	}
+	return out
+}
+
+func (g *Generator) generateOne(spec Spec) *query.Query {
+	nJoins := spec.MinJoins
+	if spec.MaxJoins > spec.MinJoins {
+		nJoins += g.rng.Intn(spec.MaxJoins - spec.MinJoins + 1)
+	}
+	tables, joins := g.randomConnectedTables(nJoins+1, spec.StartTables)
+	if tables == nil {
+		return nil
+	}
+	q := &query.Query{Tables: tables, Joins: joins, Filters: map[string]sqlpred.Pred{}}
+
+	filtered := 0
+	for _, t := range tables {
+		if g.rng.Float64() > spec.FilterProb {
+			continue
+		}
+		p := g.randomPredicate(t, spec)
+		if p != nil {
+			q.Filters[t] = p
+			filtered++
+		}
+	}
+	// Always filter at least one table so generated queries are not all
+	// full-table joins.
+	if filtered == 0 {
+		t := tables[g.rng.Intn(len(tables))]
+		if p := g.randomPredicate(t, spec); p != nil {
+			q.Filters[t] = p
+		}
+	}
+	q.Aggs = g.randomAggs(tables)
+	return q
+}
+
+// randomConnectedTables walks the join graph to select n connected tables,
+// returning them with the spanning joins used.
+func (g *Generator) randomConnectedTables(n int, startTables []string) ([]string, []plan.JoinCond) {
+	s := g.DB.Schema
+	var start string
+	if len(startTables) > 0 {
+		start = startTables[g.rng.Intn(len(startTables))]
+	} else {
+		start = s.Tables[g.rng.Intn(len(s.Tables))].Name
+	}
+	tables := []string{start}
+	in := map[string]bool{start: true}
+	var joins []plan.JoinCond
+	for len(tables) < n {
+		// Collect frontier edges.
+		type cand struct {
+			edge  schema.JoinEdge
+			other string
+		}
+		var cands []cand
+		for _, t := range tables {
+			for _, e := range s.JoinsOf(t) {
+				other := e.FKTable
+				if other == t {
+					other = e.PKTable
+				}
+				if !in[other] {
+					cands = append(cands, cand{e, other})
+				}
+			}
+		}
+		if len(cands) == 0 {
+			return nil, nil
+		}
+		c := cands[g.rng.Intn(len(cands))]
+		in[c.other] = true
+		tables = append(tables, c.other)
+		joins = append(joins, plan.JoinCond{
+			Left:  plan.ColRef{Table: c.edge.FKTable, Column: c.edge.FKColumn},
+			Right: plan.ColRef{Table: c.edge.PKTable, Column: c.edge.PKColumn},
+		})
+	}
+	return tables, joins
+}
+
+// randomPredicate builds a possibly-compound predicate on one table.
+func (g *Generator) randomPredicate(table string, spec Spec) sqlpred.Pred {
+	cols := g.DB.Schema.PredicableColumns(table)
+	var numCols, strCols []schema.Column
+	for _, c := range cols {
+		if c.Type == schema.IntCol {
+			numCols = append(numCols, c)
+		} else {
+			strCols = append(strCols, c)
+		}
+	}
+	nAtoms := 1 + g.rng.Intn(spec.MaxAtomsPerTable)
+	var atoms []sqlpred.Pred
+	for i := 0; i < nAtoms; i++ {
+		useStr := spec.StringProb > 0 && len(strCols) > 0 && g.rng.Float64() < spec.StringProb
+		if !useStr && len(numCols) == 0 {
+			// Tables with no numeric predicable columns can only receive
+			// string predicates; skip them entirely in numeric-only specs.
+			if spec.StringProb == 0 {
+				continue
+			}
+			useStr = len(strCols) > 0
+		}
+		var a *sqlpred.Atom
+		if useStr {
+			a = g.randomStringAtom(table, strCols[g.rng.Intn(len(strCols))])
+		} else if len(numCols) > 0 {
+			a = g.randomNumericAtom(table, numCols[g.rng.Intn(len(numCols))])
+		}
+		if a != nil {
+			atoms = append(atoms, a)
+		}
+	}
+	if len(atoms) == 0 {
+		return nil
+	}
+	return g.combine(atoms, spec.OrProb)
+}
+
+// combine folds atoms into a random binary AND/OR tree.
+func (g *Generator) combine(atoms []sqlpred.Pred, orProb float64) sqlpred.Pred {
+	for len(atoms) > 1 {
+		i := g.rng.Intn(len(atoms) - 1)
+		kind := sqlpred.And
+		if g.rng.Float64() < orProb {
+			kind = sqlpred.Or
+		}
+		merged := &sqlpred.Bool{Kind: kind, Left: atoms[i], Right: atoms[i+1]}
+		atoms = append(atoms[:i], append([]sqlpred.Pred{merged}, atoms[i+2:]...)...)
+	}
+	return atoms[0]
+}
+
+// randomNumericAtom picks an operator from the paper's {>,<,=,!=} and a
+// value present in the column.
+func (g *Generator) randomNumericAtom(table string, col schema.Column) *sqlpred.Atom {
+	vals := g.DB.Table(table).IntColumn(col.Name)
+	if len(vals) == 0 {
+		return nil
+	}
+	v := vals[g.rng.Intn(len(vals))]
+	ops := []sqlpred.Op{sqlpred.OpGt, sqlpred.OpLt, sqlpred.OpEq, sqlpred.OpNe}
+	// Low-cardinality columns read more naturally with equality.
+	op := ops[g.rng.Intn(len(ops))]
+	return &sqlpred.Atom{Table: table, Column: col.Name, Op: op, NumVal: float64(v)}
+}
+
+// randomStringAtom picks an operator from {=,!=,LIKE,NOT LIKE,IN} with a
+// value (or substring pattern) drawn from the data, following Section 4.3.
+func (g *Generator) randomStringAtom(table string, col schema.Column) *sqlpred.Atom {
+	vals := g.DB.Table(table).StrColumn(col.Name)
+	if len(vals) == 0 {
+		return nil
+	}
+	v := g.nonEmptyString(vals)
+	if v == "" {
+		return nil
+	}
+	switch g.rng.Intn(5) {
+	case 0:
+		return &sqlpred.Atom{Table: table, Column: col.Name, Op: sqlpred.OpEq, StrVal: v, IsStr: true}
+	case 1:
+		return &sqlpred.Atom{Table: table, Column: col.Name, Op: sqlpred.OpNe, StrVal: v, IsStr: true}
+	case 2:
+		in := []string{v}
+		for k := 0; k < 1+g.rng.Intn(2); k++ {
+			if w := g.nonEmptyString(vals); w != "" {
+				in = append(in, w)
+			}
+		}
+		sort.Strings(in)
+		return &sqlpred.Atom{Table: table, Column: col.Name, Op: sqlpred.OpIn, InVals: dedup(in), IsStr: true}
+	case 3:
+		return &sqlpred.Atom{Table: table, Column: col.Name, Op: sqlpred.OpLike,
+			StrVal: g.likePattern(v), IsStr: true}
+	default:
+		return &sqlpred.Atom{Table: table, Column: col.Name, Op: sqlpred.OpNotLike,
+			StrVal: g.likePattern(v), IsStr: true}
+	}
+}
+
+func (g *Generator) nonEmptyString(vals []string) string {
+	for tries := 0; tries < 8; tries++ {
+		v := vals[g.rng.Intn(len(vals))]
+		if v != "" {
+			return v
+		}
+	}
+	return ""
+}
+
+// likePattern derives a pattern from a concrete value: a parenthesized token
+// ("%(co-production)%"), a prefix ("Din%"), a suffix, or an inner substring.
+func (g *Generator) likePattern(v string) string {
+	// Prefer whole parenthesized tokens, the JOB note-predicate family.
+	if toks := parenTokens(v); len(toks) > 0 && g.rng.Float64() < 0.6 {
+		return "%" + toks[g.rng.Intn(len(toks))] + "%"
+	}
+	r := []rune(v)
+	switch g.rng.Intn(3) {
+	case 0: // prefix
+		n := 3 + g.rng.Intn(3)
+		if n > len(r) {
+			n = len(r)
+		}
+		return string(r[:n]) + "%"
+	case 1: // suffix
+		n := 3 + g.rng.Intn(3)
+		if n > len(r) {
+			n = len(r)
+		}
+		return "%" + string(r[len(r)-n:])
+	default: // contains
+		n := 2 + g.rng.Intn(3)
+		if n >= len(r) {
+			return "%" + v + "%"
+		}
+		start := g.rng.Intn(len(r) - n)
+		return "%" + string(r[start:start+n]) + "%"
+	}
+}
+
+// parenTokens extracts "(...)" groups from a value.
+func parenTokens(v string) []string {
+	var out []string
+	for {
+		i := strings.IndexByte(v, '(')
+		if i < 0 {
+			break
+		}
+		j := strings.IndexByte(v[i:], ')')
+		if j < 0 {
+			break
+		}
+		out = append(out, v[i:i+j+1])
+		v = v[i+j+1:]
+	}
+	return out
+}
+
+func dedup(sorted []string) []string {
+	out := sorted[:0]
+	for i, s := range sorted {
+		if i == 0 || s != sorted[i-1] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// randomAggs builds the projection: MIN/MAX on numeric columns plus COUNT,
+// per Section 4.3 ("select MIN, MAX, COUNT or Non for each attribute").
+func (g *Generator) randomAggs(tables []string) []plan.AggSpec {
+	var out []plan.AggSpec
+	for _, t := range tables {
+		for _, c := range g.DB.Schema.PredicableColumns(t) {
+			if c.Type != schema.IntCol {
+				continue
+			}
+			switch g.rng.Intn(6) {
+			case 0:
+				out = append(out, plan.AggSpec{Func: plan.AggMin, Col: plan.ColRef{Table: t, Column: c.Name}})
+			case 1:
+				out = append(out, plan.AggSpec{Func: plan.AggMax, Col: plan.ColRef{Table: t, Column: c.Name}})
+			}
+			if len(out) >= 3 {
+				return out
+			}
+		}
+	}
+	out = append(out, plan.AggSpec{Func: plan.AggCount})
+	return out
+}

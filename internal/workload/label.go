@@ -1,0 +1,83 @@
+package workload
+
+import (
+	"runtime"
+	"sync"
+
+	"costest/internal/exec"
+	"costest/internal/plan"
+	"costest/internal/planner"
+	"costest/internal/query"
+)
+
+// Labeled is one training/evaluation sample: the paper's triple
+// ⟨physical plan, real cost, real cardinality⟩ (Section 3).
+type Labeled struct {
+	Query *query.Query
+	Plan  *plan.Node // annotated with TrueRows / TrueCost at every node
+	Card  float64    // query-level cardinality (topmost non-aggregate node)
+	Cost  float64    // total plan cost in executor milliseconds
+}
+
+// Labeler turns queries into labeled samples by planning and executing them.
+type Labeler struct {
+	Planner *planner.Planner
+	Engine  *exec.Engine
+	// Parallelism bounds concurrent executions (0 = GOMAXPROCS).
+	Parallelism int
+}
+
+// Label plans and executes qs, dropping queries that fail to plan or whose
+// intermediate results exceed the engine limit. The output preserves input
+// order.
+func (l *Labeler) Label(qs []*query.Query) []*Labeled {
+	par := l.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	results := make([]*Labeled, len(qs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, par)
+	for i, q := range qs {
+		wg.Add(1)
+		go func(i int, q *query.Query) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			root, err := l.Planner.Plan(q)
+			if err != nil {
+				return
+			}
+			if _, err := l.Engine.Run(root); err != nil {
+				return
+			}
+			results[i] = &Labeled{
+				Query: q,
+				Plan:  root,
+				Card:  root.CardinalityNode().TrueRows,
+				Cost:  root.TrueCost,
+			}
+		}(i, q)
+	}
+	wg.Wait()
+	out := make([]*Labeled, 0, len(qs))
+	for _, r := range results {
+		if r != nil {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Split partitions samples into train/validation sets by fraction (the paper
+// uses 90%/10%).
+func Split(samples []*Labeled, trainFrac float64) (train, valid []*Labeled) {
+	cut := int(float64(len(samples)) * trainFrac)
+	if cut < 0 {
+		cut = 0
+	}
+	if cut > len(samples) {
+		cut = len(samples)
+	}
+	return samples[:cut], samples[cut:]
+}

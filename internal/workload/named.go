@@ -1,0 +1,160 @@
+package workload
+
+import (
+	"costest/internal/dataset"
+	"costest/internal/query"
+	"costest/internal/sqlpred"
+)
+
+// Paper workload sizes (Section 6.1). Benches shrink these via parameters.
+const (
+	SyntheticSize = 5000
+	ScaleSize     = 500
+	JOBLightSize  = 70
+	JOBFullSize   = 113
+)
+
+// Synthetic returns the paper's "Synthetic" numeric workload: queries with
+// at most 2 joins and numeric predicates only (5000 queries at full scale).
+func Synthetic(db *dataset.DB, seed int64, n int) []*query.Query {
+	g := NewGenerator(db, seed)
+	return g.Generate(Spec{
+		MinJoins:         0,
+		MaxJoins:         2,
+		MaxAtomsPerTable: 2,
+		StringProb:       0,
+		OrProb:           0.15,
+		FilterProb:       0.85,
+	}, n)
+}
+
+// Scale returns the paper's "Scale" workload: 0-4 joins, numeric predicates
+// (500 queries at full scale).
+func Scale(db *dataset.DB, seed int64, n int) []*query.Query {
+	g := NewGenerator(db, seed)
+	return g.Generate(Spec{
+		MinJoins:         0,
+		MaxJoins:         4,
+		MaxAtomsPerTable: 2,
+		StringProb:       0,
+		OrProb:           0.15,
+		FilterProb:       0.85,
+	}, n)
+}
+
+// JOBLight returns the JOB-light-style workload: n queries (70 in the paper)
+// with 1-4 joins anchored on the title star schema, numeric predicates only
+// and pure conjunctions.
+func JOBLight(db *dataset.DB, seed int64, n int) []*query.Query {
+	g := NewGenerator(db, seed)
+	out := make([]*query.Query, 0, n)
+	spec := Spec{
+		MinJoins:         1,
+		MaxJoins:         4,
+		MaxAtomsPerTable: 2,
+		StringProb:       0,
+		OrProb:           0,
+		FilterProb:       0.8,
+		StartTables:      []string{"title"},
+	}
+	for len(out) < n {
+		q := g.Generate(spec, 1)[0]
+		if !containsTable(q, "title") {
+			continue
+		}
+		out = append(out, q)
+	}
+	return out
+}
+
+// JOBFull returns the JOB-style test workload: n queries (113 in the paper)
+// with multiple joins and complex AND/OR predicates over both numeric and
+// string attributes, standing in for the hand-written join-order-benchmark
+// queries.
+func JOBFull(db *dataset.DB, seed int64, n int) []*query.Query {
+	g := NewGenerator(db, seed)
+	out := make([]*query.Query, 0, n)
+	spec := Spec{
+		MinJoins:         2,
+		MaxJoins:         5,
+		MaxAtomsPerTable: 3,
+		StringProb:       0.55,
+		OrProb:           0.25,
+		FilterProb:       0.85,
+		StartTables:      []string{"title", "movie_companies", "cast_info", "movie_info_idx"},
+	}
+	for len(out) < n {
+		q := g.Generate(spec, 1)[0]
+		if !hasStringAtom(q) {
+			continue // JOB queries always carry string predicates
+		}
+		out = append(out, q)
+	}
+	return out
+}
+
+// TrainingNumeric generates the training workload for the numeric-only
+// experiments (Section 6.2).
+func TrainingNumeric(db *dataset.DB, seed int64, n int) []*query.Query {
+	g := NewGenerator(db, seed)
+	return g.Generate(Spec{
+		MinJoins:         0,
+		MaxJoins:         4,
+		MaxAtomsPerTable: 2,
+		StringProb:       0,
+		OrProb:           0.15,
+		FilterProb:       0.85,
+	}, n)
+}
+
+// TrainingStrings generates the multi-join training workload with string
+// predicates (Section 6.3.2).
+func TrainingStrings(db *dataset.DB, seed int64, n int) []*query.Query {
+	g := NewGenerator(db, seed)
+	return g.Generate(Spec{
+		MinJoins:         1,
+		MaxJoins:         5,
+		MaxAtomsPerTable: 3,
+		StringProb:       0.55,
+		OrProb:           0.25,
+		FilterProb:       0.85,
+		StartTables:      []string{"title", "movie_companies", "cast_info", "movie_info_idx"},
+	}, n)
+}
+
+// SingleTableStrings generates the single-table string-predicate workload of
+// Section 6.3.1: no joins, compound predicates with up to 4 boolean
+// connectives / 5 expressions over string and numeric columns.
+func SingleTableStrings(db *dataset.DB, seed int64, n int) []*query.Query {
+	g := NewGenerator(db, seed)
+	return g.Generate(Spec{
+		MinJoins:         0,
+		MaxJoins:         0,
+		MaxAtomsPerTable: 5,
+		StringProb:       0.6,
+		OrProb:           0.3,
+		FilterProb:       1.0,
+		StartTables:      []string{"movie_companies", "title", "cast_info", "aka_title"},
+	}, n)
+}
+
+func containsTable(q *query.Query, table string) bool {
+	for _, t := range q.Tables {
+		if t == table {
+			return true
+		}
+	}
+	return false
+}
+
+func hasStringAtom(q *query.Query) bool {
+	found := false
+	for _, f := range q.Filters {
+		sqlpred.Walk(f, func(a *sqlpred.Atom) {
+			if a.IsStr {
+				found = true
+			}
+		})
+	}
+	return found
+}
