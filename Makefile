@@ -1,0 +1,42 @@
+# Developer entry points. `make check` is the tier-1 gate: build, vet,
+# gofmt cleanliness, and the full test suite.
+
+GO ?= go
+PKGS := ./...
+BENCH_OUT ?= BENCH_INFERENCE.json
+
+.PHONY: all build vet fmt-check test check bench bench-json clean
+
+all: check
+
+build:
+	$(GO) build $(PKGS)
+
+vet:
+	$(GO) vet $(PKGS)
+
+fmt-check:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+test:
+	$(GO) test $(PKGS)
+
+check: build vet fmt-check test
+
+# Hot-path microbenchmarks: the per-plan forward runtime, the memory pool
+# read path, and the tensor kernels underneath them.
+bench:
+	$(GO) test ./internal/core/ -run xxx \
+		-bench 'BenchmarkForwardSingle|BenchmarkForwardPooled|BenchmarkPoolGetParallel' \
+		-benchmem -benchtime=1s
+	$(GO) test ./internal/tensor/ -run xxx -bench . -benchmem -benchtime=1s
+
+# Regenerate $(BENCH_OUT) from a fresh benchmark run (see scripts/bench_json.sh).
+bench-json:
+	./scripts/bench_json.sh $(BENCH_OUT)
+
+clean:
+	$(GO) clean $(PKGS)

@@ -1,0 +1,3 @@
+module costest
+
+go 1.24

@@ -11,58 +11,52 @@ type headGrad struct {
 	dCostS, dCardS float64
 }
 
-// forwardTrain runs a full forward pass evaluating the estimation heads at
-// every node, which training (and sub-plan supervision) needs.
-func (m *Model) forwardTrain(ep *feature.EncodedPlan) *planState {
-	st := &planState{nodes: make([]*nodeState, len(ep.Nodes))}
-	m.forwardNode(ep, ep.Root, st, nil)
-	for _, ns := range st.nodes {
-		m.forwardHeads(ns)
-	}
-	return st
-}
-
 // backwardPlan backpropagates head gradients through the whole tree,
-// accumulating parameter gradients into m.PS.
-func (m *Model) backwardPlan(ep *feature.EncodedPlan, st *planState, hg []headGrad) {
-	dG := make([]float64, m.Cfg.Hidden)
-	dR := make([]float64, m.Cfg.Hidden)
+// accumulating parameter gradients into m.PS. st must hold the forward
+// states of ep (a prior forwardTrain on the same session); all scratch comes
+// from the session's gradient arena, so steady-state passes allocate
+// nothing.
+func (m *Model) backwardPlan(ep *feature.EncodedPlan, st *InferenceSession, hg []headGrad) {
+	st.grads.reset()
+	dG := st.grads.take(m.Cfg.Hidden)
+	dR := st.grads.take(m.Cfg.Hidden)
 	m.backwardNode(ep, ep.Root, st, hg, dG, dR)
 }
 
 // backwardNode handles one node: estimation heads, representation unit,
 // embedding layer, then recursion into children. dG/dR are the upstream
 // gradients w.r.t. this node's outputs (owned by the caller).
-func (m *Model) backwardNode(ep *feature.EncodedPlan, idx int, st *planState, hg []headGrad, dG, dR []float64) {
+func (m *Model) backwardNode(ep *feature.EncodedPlan, idx int, st *InferenceSession, hg []headGrad, dG, dR []float64) {
 	node := &ep.Nodes[idx]
-	ns := st.nodes[idx]
+	ns := &st.nodes[idx]
+	ar := &st.grads
 
 	// Estimation heads contribute into dR.
 	if hg != nil && (hg[idx].dCostS != 0 || hg[idx].dCardS != 0) {
-		m.backwardHeads(ns, hg[idx], dR)
+		m.backwardHeads(ns, hg[idx], dR, ar)
 	}
 
 	var dE []float64
 	var dGl, dRl, dGr, dRr []float64
 	if node.Left >= 0 {
-		dGl = make([]float64, m.Cfg.Hidden)
-		dRl = make([]float64, m.Cfg.Hidden)
+		dGl = ar.take(m.Cfg.Hidden)
+		dRl = ar.take(m.Cfg.Hidden)
 	}
 	if node.Right >= 0 {
-		dGr = make([]float64, m.Cfg.Hidden)
-		dRr = make([]float64, m.Cfg.Hidden)
+		dGr = ar.take(m.Cfg.Hidden)
+		dRr = ar.take(m.Cfg.Hidden)
 	}
 
 	switch m.Cfg.Rep {
 	case RepLSTM:
-		dE = make([]float64, m.embedDim())
-		m.repCell.backward(ns.cell, dG, dR, dE, dGl, dRl, dGr, dRr)
+		dE = ar.take(m.embedDim())
+		m.repCell.backward(ar, ns.cell, dG, dR, dE, dGl, dRl, dGr, dRr)
 	case RepNN:
 		// R = ReLU(W·[E, Rl, Rr] + b).
-		d := make([]float64, m.Cfg.Hidden)
+		d := ar.take(m.Cfg.Hidden)
 		copy(d, dR)
 		nn.ReLUBackwardInPlace(d, ns.r)
-		dz := make([]float64, len(ns.nnZ))
+		dz := ar.take(len(ns.nnZ))
 		m.repNN.Backward(dz, d, ns.nnZ)
 		dE = dz[:m.embedDim()]
 		if dRl != nil {
@@ -73,7 +67,7 @@ func (m *Model) backwardNode(ep *feature.EncodedPlan, idx int, st *planState, hg
 		}
 	}
 
-	m.backwardEmbed(node, ns, dE)
+	m.backwardEmbed(node, ns, dE, ar)
 
 	if node.Left >= 0 {
 		m.backwardNode(ep, node.Left, st, hg, dGl, dRl)
@@ -85,19 +79,20 @@ func (m *Model) backwardNode(ep *feature.EncodedPlan, idx int, st *planState, hg
 
 // backwardHeads backpropagates the two estimation heads, adding the trunk
 // gradient into dR.
-func (m *Model) backwardHeads(ns *nodeState, hg headGrad, dR []float64) {
-	tmp := make([]float64, m.Cfg.EstHidden)
-	rGrad := make([]float64, m.Cfg.Hidden)
+func (m *Model) backwardHeads(ns *nodeState, hg headGrad, dR []float64, ar *f64Arena) {
+	tmp := ar.take(m.Cfg.EstHidden)
+	rGrad := ar.take(m.Cfg.Hidden)
+	one := ar.take(1)
 	if hg.dCostS != 0 {
-		dPre := hg.dCostS * ns.costS * (1 - ns.costS)
-		m.costO.Backward(tmp, []float64{dPre}, ns.costHOut)
+		one[0] = hg.dCostS * ns.costS * (1 - ns.costS)
+		m.costO.Backward(tmp, one, ns.costHOut)
 		nn.ReLUBackwardInPlace(tmp, ns.costHOut)
 		m.costH.Backward(rGrad, tmp, ns.r)
 		tensor.AddTo(dR, rGrad)
 	}
 	if hg.dCardS != 0 {
-		dPre := hg.dCardS * ns.cardS * (1 - ns.cardS)
-		m.cardO.Backward(tmp, []float64{dPre}, ns.cardHOut)
+		one[0] = hg.dCardS * ns.cardS * (1 - ns.cardS)
+		m.cardO.Backward(tmp, one, ns.cardHOut)
 		nn.ReLUBackwardInPlace(tmp, ns.cardHOut)
 		m.cardH.Backward(rGrad, tmp, ns.r)
 		tensor.AddTo(dR, rGrad)
@@ -106,7 +101,7 @@ func (m *Model) backwardHeads(ns *nodeState, hg headGrad, dR []float64) {
 
 // backwardEmbed splits dE into the feature segments and backpropagates each
 // embedding sublayer.
-func (m *Model) backwardEmbed(node *feature.EncodedNode, ns *nodeState, dE []float64) {
+func (m *Model) backwardEmbed(node *feature.EncodedNode, ns *nodeState, dE []float64, ar *f64Arena) {
 	off := 0
 	dOp := dE[off : off+m.eOp]
 	off += m.eOp
@@ -129,20 +124,20 @@ func (m *Model) backwardEmbed(node *feature.EncodedNode, ns *nodeState, dE []flo
 		nn.ReLUBackwardInPlace(dBm, ns.bmOut)
 		bm := node.Bitmap
 		if bm == nil {
-			bm = make([]float64, m.Enc.BitmapDim())
+			bm = m.zeroBitmap
 		}
 		m.bmL.Backward(nil, dBm, bm)
 	}
 
 	if !node.Pred.Empty() {
-		m.backwardPred(&node.Pred, 0, ns, dPred)
+		m.backwardPred(&node.Pred, 0, ns, dPred, ar)
 	}
 }
 
 // backwardPred backpropagates the predicate embedding for the subtree at
 // pidx with upstream gradient d (not owned; treated read-only for pooling
 // routing, consumed for the LSTM variant).
-func (m *Model) backwardPred(ep *feature.EncodedPred, pidx int, ns *nodeState, d []float64) {
+func (m *Model) backwardPred(ep *feature.EncodedPred, pidx int, ns *nodeState, d []float64, ar *f64Arena) {
 	pn := &ep.Nodes[pidx]
 	switch m.Cfg.Pred {
 	case PredPool, PredPoolMean:
@@ -153,8 +148,8 @@ func (m *Model) backwardPred(ep *feature.EncodedPred, pidx int, ns *nodeState, d
 		}
 		l := ns.pred[pn.Left].out
 		r := ns.pred[pn.Right].out
-		dl := make([]float64, m.ePred)
-		dr := make([]float64, m.ePred)
+		dl := ar.take(m.ePred)
+		dr := ar.take(m.ePred)
 		if m.Cfg.Pred == PredPoolMean {
 			// Mean pooling splits the gradient evenly.
 			for i := range d {
@@ -176,35 +171,35 @@ func (m *Model) backwardPred(ep *feature.EncodedPred, pidx int, ns *nodeState, d
 				}
 			}
 		}
-		m.backwardPred(ep, pn.Left, ns, dl)
-		m.backwardPred(ep, pn.Right, ns, dr)
+		m.backwardPred(ep, pn.Left, ns, dl, ar)
+		m.backwardPred(ep, pn.Right, ns, dr, ar)
 	default: // PredLSTM
-		dG := make([]float64, m.ePred)
-		dR := make([]float64, m.ePred)
+		dG := ar.take(m.ePred)
+		dR := ar.take(m.ePred)
 		copy(dR, d)
-		m.backwardPredCell(ep, pidx, ns, dG, dR)
+		m.backwardPredCell(ep, pidx, ns, dG, dR, ar)
 	}
 }
 
 // backwardPredCell recursively backpropagates the predicate tree-LSTM.
-func (m *Model) backwardPredCell(ep *feature.EncodedPred, pidx int, ns *nodeState, dG, dR []float64) {
+func (m *Model) backwardPredCell(ep *feature.EncodedPred, pidx int, ns *nodeState, dG, dR []float64, ar *f64Arena) {
 	pn := &ep.Nodes[pidx]
 	ps := ns.pred[pidx]
 	var dGl, dRl, dGr, dRr []float64
 	if pn.Left >= 0 {
-		dGl = make([]float64, m.ePred)
-		dRl = make([]float64, m.ePred)
+		dGl = ar.take(m.ePred)
+		dRl = ar.take(m.ePred)
 	}
 	if pn.Right >= 0 {
-		dGr = make([]float64, m.ePred)
-		dRr = make([]float64, m.ePred)
+		dGr = ar.take(m.ePred)
+		dRr = ar.take(m.ePred)
 	}
 	// Input features are data, not parameters: dx = nil.
-	m.predCell.backward(ps.cell, dG, dR, nil, dGl, dRl, dGr, dRr)
+	m.predCell.backward(ar, ps.cell, dG, dR, nil, dGl, dRl, dGr, dRr)
 	if pn.Left >= 0 {
-		m.backwardPredCell(ep, pn.Left, ns, dGl, dRl)
+		m.backwardPredCell(ep, pn.Left, ns, dGl, dRl, ar)
 	}
 	if pn.Right >= 0 {
-		m.backwardPredCell(ep, pn.Right, ns, dGr, dRr)
+		m.backwardPredCell(ep, pn.Right, ns, dGr, dRr, ar)
 	}
 }

@@ -100,15 +100,16 @@ func (m *Model) EstimateBatch(eps []*feature.EncodedPlan, workers int) []Estimat
 	out := make([]Estimate, len(eps))
 	parallelFor(len(eps), workers, func(i int) {
 		ep := eps[i]
-		st := &planState{nodes: make([]*nodeState, len(ep.Nodes))}
-		root := offsets[i] + ep.Root
-		st.nodes[ep.Root] = &nodeState{g: gOf(root), r: rOf(root)}
+		var hs headScratch
+		hs.init(m)
+		costS, cardS := m.evalHeads(rOf(offsets[i]+ep.Root), &hs)
 		if ep.CardNode != ep.Root {
-			cn := offsets[i] + ep.CardNode
-			st.nodes[ep.CardNode] = &nodeState{g: gOf(cn), r: rOf(cn)}
+			_, cardS = m.evalHeads(rOf(offsets[i]+ep.CardNode), &hs)
 		}
-		cost, card := m.readEstimates(ep, st, nil)
-		out[i] = Estimate{Cost: cost, Card: card}
+		out[i] = Estimate{
+			Cost: m.CostNorm.Denormalize(costS),
+			Card: m.CardNorm.Denormalize(cardS),
+		}
 	})
 	return out
 }

@@ -77,14 +77,17 @@ func (c *lstmCell) forward(st *cellState, x, gl, rl, gr, rr []float64) {
 	copy(st.z[:c.dh], st.rPrev)
 	copy(st.z[c.dh:], x)
 
-	pre := st.f // reuse buffers: compute pre-activation then overwrite
-	c.wf.Forward(pre, st.z)
-	nn.Sigmoid(st.f, pre)
-	c.wk1.Forward(st.k1, st.z)
+	// All four gates read the same z: one interleaved kernel pass computes
+	// their pre-activations, then biases and nonlinearities apply in place.
+	tensor.MatVec4(st.f, st.k1, st.r, st.k2,
+		c.wf.W.Mat(), c.wk1.W.Mat(), c.wr.W.Mat(), c.wk2.W.Mat(), st.z)
+	tensor.AddTo(st.f, c.wf.B.Vec())
+	nn.Sigmoid(st.f, st.f)
+	tensor.AddTo(st.k1, c.wk1.B.Vec())
 	nn.Sigmoid(st.k1, st.k1)
-	c.wr.Forward(st.r, st.z)
+	tensor.AddTo(st.r, c.wr.B.Vec())
 	nn.Tanh(st.r, st.r)
-	c.wk2.Forward(st.k2, st.z)
+	tensor.AddTo(st.k2, c.wk2.B.Vec())
 	nn.Sigmoid(st.k2, st.k2)
 
 	for i := 0; i < c.dh; i++ {
@@ -99,22 +102,23 @@ func (c *lstmCell) forward(st *cellState, x, gl, rl, gr, rr []float64) {
 // backward consumes upstream gradients (dG, dR) w.r.t. (G_t, R_t) and
 // accumulates parameter gradients, writing input gradients into dx and the
 // children's (dGl, dRl, dGr, dRr) accumulators (added, not overwritten).
-// Any output pointer may be nil.
-func (c *lstmCell) backward(st *cellState, dG, dR, dx, dGl, dRl, dGr, dRr []float64) {
+// Any output pointer may be nil. Scratch vectors come from ar so repeated
+// passes reuse one slab instead of allocating.
+func (c *lstmCell) backward(ar *f64Arena, st *cellState, dG, dR, dx, dGl, dRl, dGr, dRr []float64) {
 	dh := c.dh
 	// R = k2 ⊙ tanh(G)
-	dk2 := make([]float64, dh)
-	dGTotal := make([]float64, dh)
+	dk2 := ar.take(dh)
+	dGTotal := ar.take(dh)
 	for i := 0; i < dh; i++ {
 		dk2[i] = dR[i] * st.tG[i]
 		dT := dR[i] * st.k2[i]
 		dGTotal[i] = dG[i] + dT*(1-st.tG[i]*st.tG[i])
 	}
 	// G = f⊙Gprev + k1⊙r
-	df := make([]float64, dh)
-	dk1 := make([]float64, dh)
-	dr := make([]float64, dh)
-	dGprev := make([]float64, dh)
+	df := ar.take(dh)
+	dk1 := ar.take(dh)
+	dr := ar.take(dh)
+	dGprev := ar.take(dh)
 	for i := 0; i < dh; i++ {
 		df[i] = dGTotal[i] * st.gPrev[i]
 		dGprev[i] = dGTotal[i] * st.f[i]
@@ -129,8 +133,8 @@ func (c *lstmCell) backward(st *cellState, dG, dR, dx, dGl, dRl, dGr, dRr []floa
 		dk2[i] *= st.k2[i] * (1 - st.k2[i])
 	}
 	// Through the four linears; accumulate dz.
-	dz := make([]float64, dh+c.dx)
-	tmp := make([]float64, dh+c.dx)
+	dz := ar.take(dh + c.dx)
+	tmp := ar.take(dh + c.dx)
 	c.wf.Backward(tmp, df, st.z)
 	tensor.AddTo(dz, tmp)
 	c.wk1.Backward(tmp, dk1, st.z)

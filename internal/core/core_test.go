@@ -25,10 +25,8 @@ var (
 )
 
 // labeledPlans builds a small encoded training corpus, cached per test run.
-func labeledPlans(t *testing.T, seed int64, n int, strings bool) []*feature.EncodedPlan {
+func labeledPlans(t testing.TB, seed int64, n int, strings bool) []*feature.EncodedPlan {
 	t.Helper()
-	var qs []*struct{}
-	_ = qs
 	var queries = workload.TrainingNumeric(testDB, seed, n)
 	if strings {
 		queries = workload.TrainingStrings(testDB, seed, n)

@@ -6,88 +6,80 @@ import (
 	"costest/internal/tensor"
 )
 
-// predState caches one predicate-tree node's forward pass.
+// predState caches one predicate-tree node's forward pass. Its buffers are
+// allocated lazily the first time an arena slot is used and reused across
+// calls.
 type predState struct {
 	out []float64
 	// cell is set for the tree-LSTM predicate variant.
 	cell *cellState
 }
 
-// nodeState caches one plan node's forward pass.
+// nodeState caches one plan node's forward pass. Slots live in an
+// InferenceSession and every buffer is owned by the slot; only g/r may be
+// re-pointed at pooled representations on a memory-pool hit.
 type nodeState struct {
 	opOut, metaOut, bmOut []float64
 	pred                  []*predState // aligned with Pred.Nodes
 	predOut               []float64    // root predicate embedding (zero when no predicate)
 	e                     []float64    // concatenated embedding E
 
-	cell *cellState // RepLSTM
-	nnZ  []float64  // RepNN input [E, Rl, Rr]
-	g, r []float64  // representation outputs (views into cell or owned)
+	cell     *cellState // RepLSTM
+	nnZ      []float64  // RepNN input [E, Rl, Rr]
+	nnR, nnG []float64  // RepNN owned outputs
+	g, r     []float64  // representation views (owned buffers or pooled slices)
 
 	// Estimation head caches (populated when the head is evaluated).
 	costHOut, cardHOut []float64
 	costS, cardS       float64
 }
 
-// planState is the forward cache for one encoded plan.
-type planState struct {
-	nodes []*nodeState
-}
-
-// Estimate runs the model over an encoded plan and returns denormalized
-// estimates: the cost at the root, and the cardinality at the topmost
-// non-aggregate node (aggregates always emit one row, so the query's
-// cardinality is defined below them).
+// Estimate runs the model over an encoded plan using a session drawn from
+// the model's internal pool, so concurrent callers each get private
+// buffers. Optimizer loops that call per-plan estimation at high rates
+// should hold their own NewSession and call its Estimate directly.
 func (m *Model) Estimate(ep *feature.EncodedPlan) (cost, card float64) {
-	st := m.forward(ep, nil)
-	return m.readEstimates(ep, st, nil)
+	s := m.session()
+	cost, card = s.Estimate(ep)
+	m.sessions.Put(s)
+	return cost, card
 }
 
 // EstimateWithPool is Estimate with a representation memory pool: sub-plans
 // already in the pool reuse their stored representations, and new sub-plan
 // representations are inserted (the paper's online workflow, Section 3).
 func (m *Model) EstimateWithPool(ep *feature.EncodedPlan, pool *MemoryPool) (cost, card float64) {
-	st := m.forward(ep, pool)
-	return m.readEstimates(ep, st, pool)
+	s := m.session()
+	cost, card = s.EstimateWithPool(ep, pool)
+	m.sessions.Put(s)
+	return cost, card
 }
 
-// forward computes representations bottom-up. When pool is non-nil, node
-// representations are fetched/stored by subtree signature.
-func (m *Model) forward(ep *feature.EncodedPlan, pool *MemoryPool) *planState {
-	st := &planState{nodes: make([]*nodeState, len(ep.Nodes))}
-	m.forwardNode(ep, ep.Root, st, pool)
-	return st
-}
-
-// readEstimates evaluates the heads at the root (cost) and the cardinality
-// node (card). When the cardinality node was skipped because an enclosing
-// sub-plan came from the pool, its representation is fetched by signature.
-func (m *Model) readEstimates(ep *feature.EncodedPlan, st *planState, pool *MemoryPool) (cost, card float64) {
-	root := st.nodes[ep.Root]
-	m.forwardHeads(root)
-	cardNS := root
-	if ep.CardNode != ep.Root {
-		cardNS = st.nodes[ep.CardNode]
-		if cardNS == nil && pool != nil {
-			if _, r, ok := pool.Get(ep.Nodes[ep.CardNode].Sig); ok {
-				cardNS = &nodeState{r: r}
-			}
-		}
-		if cardNS == nil {
-			cardNS = root // should not happen; degrade gracefully
-		}
-		if cardNS != root {
-			m.forwardHeads(cardNS)
-		}
+// session fetches a reusable inference session from the model's pool.
+func (m *Model) session() *InferenceSession {
+	if s, ok := m.sessions.Get().(*InferenceSession); ok {
+		return s
 	}
-	return m.CostNorm.Denormalize(root.costS), m.CardNorm.Denormalize(cardNS.cardS)
+	return NewSession(m)
+}
+
+// forwardTrain runs a training forward pass in a fresh session and returns
+// it holding the per-node states (the caller keeps it for backward). The
+// Trainer reuses its own session instead; this helper serves one-off
+// callers, so it deliberately does not draw from the Estimate session pool.
+func (m *Model) forwardTrain(ep *feature.EncodedPlan) *InferenceSession {
+	s := NewSession(m)
+	s.forwardTrain(ep)
+	return s
 }
 
 // forwardNode evaluates the subtree rooted at idx and returns its state.
-func (m *Model) forwardNode(ep *feature.EncodedPlan, idx int, st *planState, pool *MemoryPool) *nodeState {
+func (s *InferenceSession) forwardNode(ep *feature.EncodedPlan, idx int, pool *MemoryPool) *nodeState {
+	m := s.m
 	node := &ep.Nodes[idx]
-	ns := &nodeState{}
-	st.nodes[idx] = ns
+	ns := &s.nodes[idx]
+	s.visited[idx] = true
+	ns.pred = nil
 
 	if pool != nil {
 		if g, r, ok := pool.Get(node.Sig); ok {
@@ -98,35 +90,38 @@ func (m *Model) forwardNode(ep *feature.EncodedPlan, idx int, st *planState, poo
 
 	var gl, rl, gr, rr []float64
 	if node.Left >= 0 {
-		c := m.forwardNode(ep, node.Left, st, pool)
+		c := s.forwardNode(ep, node.Left, pool)
 		gl, rl = c.g, c.r
 	}
 	if node.Right >= 0 {
-		c := m.forwardNode(ep, node.Right, st, pool)
+		c := s.forwardNode(ep, node.Right, pool)
 		gr, rr = c.g, c.r
 	}
 
-	m.embedNode(node, ns)
+	s.embedNode(node, ns)
 
 	switch m.Cfg.Rep {
 	case RepLSTM:
-		ns.cell = m.repCell.newState()
 		m.repCell.forward(ns.cell, ns.e, gl, rl, gr, rr)
 		ns.g, ns.r = ns.cell.g, ns.cell.rOut
 	case RepNN:
 		// Naive unit: R = ReLU(W·[E, Rl, Rr] + b); no long-memory channel.
-		ns.nnZ = make([]float64, m.embedDim()+2*m.Cfg.Hidden)
+		de := m.embedDim()
+		dh := m.Cfg.Hidden
 		copy(ns.nnZ, ns.e)
 		if rl != nil {
-			copy(ns.nnZ[m.embedDim():], rl)
+			copy(ns.nnZ[de:de+dh], rl)
+		} else {
+			tensor.ZeroVec(ns.nnZ[de : de+dh])
 		}
 		if rr != nil {
-			copy(ns.nnZ[m.embedDim()+m.Cfg.Hidden:], rr)
+			copy(ns.nnZ[de+dh:], rr)
+		} else {
+			tensor.ZeroVec(ns.nnZ[de+dh:])
 		}
-		ns.r = make([]float64, m.Cfg.Hidden)
-		m.repNN.Forward(ns.r, ns.nnZ)
-		nn.ReLU(ns.r, ns.r)
-		ns.g = make([]float64, m.Cfg.Hidden) // unused channel stays zero
+		m.repNN.Forward(ns.nnR, ns.nnZ)
+		nn.ReLU(ns.nnR, ns.nnR)
+		ns.g, ns.r = ns.nnG, ns.nnR
 	}
 
 	if pool != nil {
@@ -135,34 +130,31 @@ func (m *Model) forwardNode(ep *feature.EncodedPlan, idx int, st *planState, poo
 	return ns
 }
 
-// embedNode runs the embedding layer for one plan node.
-func (m *Model) embedNode(node *feature.EncodedNode, ns *nodeState) {
-	ns.opOut = make([]float64, m.eOp)
-	m.opL.Forward(ns.opOut, node.Op)
-	nn.ReLU(ns.opOut, ns.opOut)
-
-	ns.metaOut = make([]float64, m.eMeta)
-	m.metaL.Forward(ns.metaOut, node.Meta)
-	nn.ReLU(ns.metaOut, ns.metaOut)
-
+// embedNode runs the embedding layer for one plan node into the node slot's
+// buffers.
+func (s *InferenceSession) embedNode(node *feature.EncodedNode, ns *nodeState) {
+	m := s.m
+	// One-hot and bitmap features are sparse: visit only the weight columns
+	// of their set bits (the same kernel the batch path uses). A nil bitmap
+	// is an all-zero input, which reduces to the bias.
+	sparseLinearReLU(ns.opOut, m.opL, node.Op)
+	sparseLinearReLU(ns.metaOut, m.metaL, node.Meta)
 	if m.bmL != nil {
-		ns.bmOut = make([]float64, m.eBm)
-		bm := node.Bitmap
-		if bm == nil {
-			bm = make([]float64, m.Enc.BitmapDim())
+		if node.Bitmap != nil {
+			sparseLinearReLU(ns.bmOut, m.bmL, node.Bitmap)
+		} else {
+			biasReLU(ns.bmOut, m.bmL)
 		}
-		m.bmL.Forward(ns.bmOut, bm)
-		nn.ReLU(ns.bmOut, ns.bmOut)
 	}
 
-	ns.predOut = make([]float64, m.ePred)
 	if !node.Pred.Empty() {
-		ns.pred = make([]*predState, len(node.Pred.Nodes))
-		root := m.forwardPred(&node.Pred, 0, ns)
+		ns.pred = s.takePreds(len(node.Pred.Nodes))
+		root := s.forwardPred(&node.Pred, 0, ns)
 		copy(ns.predOut, root)
+	} else {
+		tensor.ZeroVec(ns.predOut)
 	}
 
-	ns.e = make([]float64, m.embedDim())
 	if m.bmL != nil {
 		tensor.Concat(ns.e, ns.opOut, ns.metaOut, ns.bmOut, ns.predOut)
 	} else {
@@ -171,22 +163,23 @@ func (m *Model) embedNode(node *feature.EncodedNode, ns *nodeState) {
 }
 
 // forwardPred embeds the predicate subtree at pidx, returning its vector.
-func (m *Model) forwardPred(ep *feature.EncodedPred, pidx int, ns *nodeState) []float64 {
+func (s *InferenceSession) forwardPred(ep *feature.EncodedPred, pidx int, ns *nodeState) []float64 {
+	m := s.m
 	pn := &ep.Nodes[pidx]
-	ps := &predState{}
-	ns.pred[pidx] = ps
+	ps := ns.pred[pidx]
 
 	switch m.Cfg.Pred {
 	case PredPool, PredPoolMean:
+		if ps.out == nil {
+			ps.out = make([]float64, m.ePred)
+		}
 		if pn.IsLeaf {
 			// Leaf: W_p·x + b_p (linear, per the paper's formulation).
-			ps.out = make([]float64, m.ePred)
 			m.predLeaf.Forward(ps.out, pn.Vec)
 			return ps.out
 		}
-		l := m.forwardPred(ep, pn.Left, ns)
-		r := m.forwardPred(ep, pn.Right, ns)
-		ps.out = make([]float64, m.ePred)
+		l := s.forwardPred(ep, pn.Left, ns)
+		r := s.forwardPred(ep, pn.Right, ns)
 		switch {
 		case m.Cfg.Pred == PredPoolMean: // ablation: connective-blind mean
 			tensor.Mean(ps.out, l, r)
@@ -199,33 +192,35 @@ func (m *Model) forwardPred(ep *feature.EncodedPred, pidx int, ns *nodeState) []
 	default: // PredLSTM: run the cell over the predicate tree.
 		var gl, rl, gr, rr []float64
 		if pn.Left >= 0 {
-			m.forwardPred(ep, pn.Left, ns)
+			s.forwardPred(ep, pn.Left, ns)
 			c := ns.pred[pn.Left].cell
 			gl, rl = c.g, c.rOut
 		}
 		if pn.Right >= 0 {
-			m.forwardPred(ep, pn.Right, ns)
+			s.forwardPred(ep, pn.Right, ns)
 			c := ns.pred[pn.Right].cell
 			gr, rr = c.g, c.rOut
 		}
-		ps.cell = m.predCell.newState()
+		if ps.cell == nil {
+			ps.cell = m.predCell.newState()
+		}
 		m.predCell.forward(ps.cell, pn.Vec, gl, rl, gr, rr)
 		ps.out = ps.cell.rOut
 		return ps.out
 	}
 }
 
-// forwardHeads evaluates the estimation layer on a node's representation.
-func (m *Model) forwardHeads(ns *nodeState) {
-	ns.costHOut = make([]float64, m.Cfg.EstHidden)
+// forwardHeads evaluates the estimation layer on a node's representation,
+// caching the hidden activations in the slot for backward.
+func (s *InferenceSession) forwardHeads(ns *nodeState) {
+	m := s.m
 	m.costH.Forward(ns.costHOut, ns.r)
 	nn.ReLU(ns.costHOut, ns.costHOut)
-	out := []float64{0}
+	out := s.out1
 	m.costO.Forward(out, ns.costHOut)
 	nn.Sigmoid(out, out)
 	ns.costS = out[0]
 
-	ns.cardHOut = make([]float64, m.Cfg.EstHidden)
 	m.cardH.Forward(ns.cardHOut, ns.r)
 	nn.ReLU(ns.cardHOut, ns.cardHOut)
 	m.cardO.Forward(out, ns.cardHOut)

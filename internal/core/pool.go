@@ -1,78 +1,146 @@
 package core
 
-import "sync"
+import (
+	"hash/maphash"
+	"sync"
+	"sync/atomic"
+)
+
+// poolShardCount is the number of independent shards a MemoryPool splits its
+// signature space across. Must be a power of two so the shard index is a
+// cheap mask of the signature hash.
+const poolShardCount = 32
 
 // MemoryPool is the Representation Memory Pool of Section 3: a mapping from
 // sub-plan signatures to their learned representations, letting the online
 // estimator skip re-evaluating sub-plans the optimizer has asked about
 // before. It is safe for concurrent use.
+//
+// The map is sharded by signature hash and the hit/miss statistics are plain
+// atomics, so the read path takes only one shard's RLock — concurrent
+// optimizer threads probing the pool never serialize on a single mutex.
 type MemoryPool struct {
-	mu     sync.RWMutex
-	m      map[string]poolEntry
-	hits   int
-	misses int
+	hits   atomic.Int64
+	misses atomic.Int64
+	// maxPerShard bounds each shard's entry count (0 = unbounded), keeping a
+	// long-lived serving process from growing without limit.
+	maxPerShard int
+	shards      [poolShardCount]poolShard
+}
+
+type poolShard struct {
+	mu sync.RWMutex
+	m  map[string]poolEntry
 }
 
 type poolEntry struct {
 	g, r []float64
 }
 
-// NewMemoryPool returns an empty pool.
+// NewMemoryPool returns an empty, unbounded pool.
 func NewMemoryPool() *MemoryPool {
-	return &MemoryPool{m: make(map[string]poolEntry)}
+	return NewBoundedMemoryPool(0)
+}
+
+// NewBoundedMemoryPool returns an empty pool holding at most maxEntries
+// sub-plan representations (0 means unbounded). The bound is approximate —
+// it is enforced per shard — and when a shard is full an arbitrary resident
+// entry is evicted to make room, which is cheap and good enough for a cache
+// whose entries are all equally recomputable.
+func NewBoundedMemoryPool(maxEntries int) *MemoryPool {
+	p := &MemoryPool{}
+	if maxEntries > 0 {
+		p.maxPerShard = (maxEntries + poolShardCount - 1) / poolShardCount
+	}
+	for i := range p.shards {
+		p.shards[i].m = make(map[string]poolEntry)
+	}
+	return p
+}
+
+// poolHashSeed keys the shard hash; one process-wide seed keeps sharding
+// deterministic within a run while defeating adversarial signature layouts.
+var poolHashSeed = maphash.MakeSeed()
+
+// shardFor hashes sig (hardware-accelerated maphash; signatures are long
+// subtree descriptors, so a byte-at-a-time hash would dominate Get) to its
+// shard. Allocation-free.
+func (p *MemoryPool) shardFor(sig string) *poolShard {
+	return &p.shards[maphash.String(poolHashSeed, sig)&(poolShardCount-1)]
 }
 
 // Get returns the stored representation for a sub-plan signature.
 func (p *MemoryPool) Get(sig string) (g, r []float64, ok bool) {
-	p.mu.RLock()
-	e, found := p.m[sig]
-	p.mu.RUnlock()
-	p.mu.Lock()
-	if found {
-		p.hits++
-	} else {
-		p.misses++
-	}
-	p.mu.Unlock()
+	s := p.shardFor(sig)
+	s.mu.RLock()
+	e, found := s.m[sig]
+	s.mu.RUnlock()
 	if !found {
+		p.misses.Add(1)
 		return nil, nil, false
 	}
+	p.hits.Add(1)
 	return e.g, e.r, true
 }
 
-// Put stores a representation (copied) under the signature.
+// Put stores a representation (copied) under the signature, evicting an
+// arbitrary entry when the shard is at its size bound.
 func (p *MemoryPool) Put(sig string, g, r []float64) {
 	gc := make([]float64, len(g))
 	rc := make([]float64, len(r))
 	copy(gc, g)
 	copy(rc, r)
-	p.mu.Lock()
-	p.m[sig] = poolEntry{g: gc, r: rc}
-	p.mu.Unlock()
+	s := p.shardFor(sig)
+	s.mu.Lock()
+	if p.maxPerShard > 0 && len(s.m) >= p.maxPerShard {
+		if _, resident := s.m[sig]; !resident {
+			for victim := range s.m {
+				delete(s.m, victim)
+				break
+			}
+		}
+	}
+	s.m[sig] = poolEntry{g: gc, r: rc}
+	s.mu.Unlock()
 }
 
 // Len returns the number of cached sub-plans.
 func (p *MemoryPool) Len() int {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	return len(p.m)
+	total := 0
+	for i := range p.shards {
+		s := &p.shards[i]
+		s.mu.RLock()
+		total += len(s.m)
+		s.mu.RUnlock()
+	}
+	return total
 }
 
 // HitRate returns hits/(hits+misses) over the pool's lifetime.
 func (p *MemoryPool) HitRate() float64 {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	total := p.hits + p.misses
+	hits := p.hits.Load()
+	total := hits + p.misses.Load()
 	if total == 0 {
 		return 0
 	}
-	return float64(p.hits) / float64(total)
+	return float64(hits) / float64(total)
 }
 
-// Reset clears contents and counters.
+// Reset clears contents and counters. All shard locks are held for the
+// clear, so it is a point-in-time barrier like the seed's single-mutex
+// Reset: no Put that completed before Reset returns survives it. (Hit/miss
+// counters are updated outside the locks, so a Get racing Reset may count
+// against the fresh statistics; that skew is cosmetic.)
 func (p *MemoryPool) Reset() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.m = make(map[string]poolEntry)
-	p.hits, p.misses = 0, 0
+	for i := range p.shards {
+		p.shards[i].mu.Lock()
+	}
+	for i := range p.shards {
+		p.shards[i].m = make(map[string]poolEntry)
+	}
+	p.hits.Store(0)
+	p.misses.Store(0)
+	for i := range p.shards {
+		p.shards[i].mu.Unlock()
+	}
 }

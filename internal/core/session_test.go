@@ -1,0 +1,285 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"costest/internal/feature"
+)
+
+// benchCorpus builds a small deterministic corpus for the forward-path
+// benchmarks (string predicates exercise every embedding segment).
+func benchCorpus(tb testing.TB, n int) []*feature.EncodedPlan {
+	tb.Helper()
+	return labeledPlans(tb, 4242, n, true)
+}
+
+// sessionVariants enumerates the architecture variants the session runtime
+// must serve.
+var sessionVariants = []struct {
+	name string
+	mod  func(*Config)
+}{
+	{"pool", func(c *Config) {}},
+	{"predlstm", func(c *Config) { c.Pred = PredLSTM }},
+	{"repnn", func(c *Config) { c.Rep = RepNN }},
+	{"meanpool", func(c *Config) { c.Pred = PredPoolMean }},
+}
+
+// TestSessionReuseMatchesFresh drives one session across many plans in both
+// directions and checks every estimate is bit-identical to a fresh session's
+// — any stale buffer state leaking between calls would show up here.
+func TestSessionReuseMatchesFresh(t *testing.T) {
+	eps := benchCorpus(t, 16)
+	for _, variant := range sessionVariants {
+		cfg := TestConfig()
+		variant.mod(&cfg)
+		m := New(cfg, testEnc)
+		sess := NewSession(m)
+		check := func(ep *feature.EncodedPlan) {
+			c1, d1 := sess.Estimate(ep)
+			c2, d2 := NewSession(m).Estimate(ep)
+			if c1 != c2 || d1 != d2 {
+				t.Fatalf("%s: reused session (%g,%g) != fresh session (%g,%g)",
+					variant.name, c1, d1, c2, d2)
+			}
+		}
+		for _, ep := range eps {
+			check(ep)
+		}
+		for i := len(eps) - 1; i >= 0; i-- {
+			check(eps[i])
+		}
+	}
+}
+
+// TestEstimateZeroAlloc asserts the tentpole property: after warm-up, the
+// per-plan forward path performs zero heap allocations, both through an
+// explicit session and through the Model.Estimate convenience API.
+func TestEstimateZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	eps := benchCorpus(t, 8)
+	for _, variant := range sessionVariants {
+		cfg := TestConfig()
+		variant.mod(&cfg)
+		m := New(cfg, testEnc)
+		sess := NewSession(m)
+		for _, ep := range eps {
+			sess.Estimate(ep) // warm-up sizes every buffer
+		}
+		var i int
+		allocs := testing.AllocsPerRun(200, func() {
+			sess.Estimate(eps[i%len(eps)])
+			i++
+		})
+		if allocs != 0 {
+			t.Errorf("%s: session Estimate allocates %.1f objects/op, want 0", variant.name, allocs)
+		}
+		for _, ep := range eps {
+			m.Estimate(ep)
+		}
+		allocs = testing.AllocsPerRun(200, func() {
+			m.Estimate(eps[i%len(eps)])
+			i++
+		})
+		if allocs != 0 {
+			t.Errorf("%s: Model.Estimate allocates %.1f objects/op, want 0", variant.name, allocs)
+		}
+	}
+}
+
+// TestPooledPathZeroAlloc asserts that against a warm representation memory
+// pool both the raw Get and the full pooled estimate are allocation-free.
+func TestPooledPathZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	eps := benchCorpus(t, 8)
+	cfg := TestConfig()
+	m := New(cfg, testEnc)
+	sess := NewSession(m)
+	pool := NewMemoryPool()
+	for _, ep := range eps {
+		sess.EstimateWithPool(ep, pool)
+	}
+	sig := eps[0].Nodes[eps[0].Root].Sig
+	allocs := testing.AllocsPerRun(500, func() {
+		if _, _, ok := pool.Get(sig); !ok {
+			t.Fatal("warm pool missed")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("warm pool Get allocates %.1f objects/op, want 0", allocs)
+	}
+	var i int
+	allocs = testing.AllocsPerRun(200, func() {
+		sess.EstimateWithPool(eps[i%len(eps)], pool)
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("warm pooled Estimate allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestBoundedPoolEviction checks the pool's size knob: a bounded pool must
+// stay near its cap and keep serving correct representations.
+func TestBoundedPoolEviction(t *testing.T) {
+	const maxEntries = 64
+	pool := NewBoundedMemoryPool(maxEntries)
+	g := []float64{1, 2}
+	r := []float64{3, 4}
+	for i := 0; i < 10*maxEntries; i++ {
+		pool.Put(fmt.Sprintf("sig-%d", i), g, r)
+	}
+	// Per-shard enforcement makes the bound approximate; allow one extra
+	// entry per shard of headroom but no unbounded growth.
+	if n := pool.Len(); n > maxEntries+poolShardCount {
+		t.Fatalf("bounded pool grew to %d entries (cap %d)", n, maxEntries)
+	}
+	pool.Put("probe", g, r)
+	pg, pr, ok := pool.Get("probe")
+	if !ok || pg[1] != 2 || pr[0] != 3 {
+		t.Fatal("bounded pool lost a fresh entry or corrupted it")
+	}
+}
+
+// TestPoolEvictedCardNode forces the case a bounded pool creates: the root's
+// representation is resident but the cardinality node's entry was evicted.
+// The estimator must recompute the cardinality subtree, not degrade to the
+// root's cardinality head.
+func TestPoolEvictedCardNode(t *testing.T) {
+	eps := benchCorpus(t, 16)
+	cfg := TestConfig()
+	m := New(cfg, testEnc)
+	sess := NewSession(m)
+	tested := 0
+	for _, ep := range eps {
+		if ep.CardNode == ep.Root {
+			continue
+		}
+		wantCost, wantCard := sess.Estimate(ep)
+		// A pool holding only the root: Get(root) hits and skips the whole
+		// tree, Get(cardNode) misses — exactly the post-eviction shape.
+		pool := NewMemoryPool()
+		full := NewMemoryPool()
+		sess.EstimateWithPool(ep, full)
+		g, r, ok := full.Get(ep.Nodes[ep.Root].Sig)
+		if !ok {
+			t.Fatal("root representation missing from warm pool")
+		}
+		pool.Put(ep.Nodes[ep.Root].Sig, g, r)
+		gotCost, gotCard := sess.EstimateWithPool(ep, pool)
+		if gotCost != wantCost || gotCard != wantCard {
+			t.Fatalf("evicted card node degraded the estimate: (%g,%g) vs (%g,%g)",
+				gotCost, gotCard, wantCost, wantCard)
+		}
+		tested++
+	}
+	if tested == 0 {
+		t.Skip("no plan in corpus with CardNode != Root")
+	}
+}
+
+// TestConcurrentEstimate hammers the convenience API from many goroutines;
+// the session pool must hand each caller private buffers (run with -race).
+func TestConcurrentEstimate(t *testing.T) {
+	eps := benchCorpus(t, 12)
+	cfg := TestConfig()
+	m := New(cfg, testEnc)
+	want := make([][2]float64, len(eps))
+	for i, ep := range eps {
+		c, d := m.Estimate(ep)
+		want[i] = [2]float64{c, d}
+	}
+	pool := NewMemoryPool()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for k := 0; k < 50; k++ {
+				i := (w + k) % len(eps)
+				c, d := m.Estimate(eps[i])
+				if c != want[i][0] || d != want[i][1] {
+					t.Errorf("concurrent estimate diverged at plan %d", i)
+					return
+				}
+				cp, dp := m.EstimateWithPool(eps[i], pool)
+				if cp != want[i][0] || dp != want[i][1] {
+					t.Errorf("concurrent pooled estimate diverged at plan %d", i)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// BenchmarkForwardSingle measures the per-plan Estimate hot path: the call an
+// optimizer would make once per candidate plan during enumeration.
+func BenchmarkForwardSingle(b *testing.B) {
+	eps := benchCorpus(b, 24)
+	for _, variant := range []struct {
+		name string
+		mod  func(*Config)
+	}{
+		{"pool", func(c *Config) {}},
+		{"predlstm", func(c *Config) { c.Pred = PredLSTM }},
+		{"repnn", func(c *Config) { c.Rep = RepNN }},
+	} {
+		cfg := TestConfig()
+		variant.mod(&cfg)
+		m := New(cfg, testEnc)
+		b.Run(variant.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				m.Estimate(eps[i%len(eps)])
+			}
+		})
+	}
+}
+
+// BenchmarkForwardPooled measures EstimateWithPool against a warm
+// representation memory pool (the paper's online workflow).
+func BenchmarkForwardPooled(b *testing.B) {
+	eps := benchCorpus(b, 24)
+	cfg := TestConfig()
+	m := New(cfg, testEnc)
+	pool := NewMemoryPool()
+	for _, ep := range eps {
+		m.EstimateWithPool(ep, pool)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.EstimateWithPool(eps[i%len(eps)], pool)
+	}
+	b.ReportMetric(pool.HitRate()*100, "hit%")
+}
+
+// BenchmarkPoolGetParallel measures concurrent read throughput of the
+// representation memory pool: with many goroutines hammering Get, the read
+// path must not serialize on an exclusive lock.
+func BenchmarkPoolGetParallel(b *testing.B) {
+	pool := NewMemoryPool()
+	g := make([]float64, 16)
+	r := make([]float64, 16)
+	sigs := make([]string, 512)
+	for i := range sigs {
+		sigs[i] = fmt.Sprintf("sig-%d|join|scan-%d", i, i%7)
+		pool.Put(sigs[i], g, r)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		var i uint64
+		for pb.Next() {
+			n := atomic.AddUint64(&i, 1)
+			pool.Get(sigs[n%uint64(len(sigs))])
+		}
+	})
+}

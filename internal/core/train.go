@@ -16,14 +16,19 @@ type Trainer struct {
 
 	costLoss nn.Loss
 	cardLoss nn.Loss
+
+	// sess is the trainer-owned forward/backward arena, reused across every
+	// sample so the training loop shares the inference runtime's caches.
+	sess *InferenceSession
 }
 
 // NewTrainer builds a trainer for the model.
 func NewTrainer(m *Model) *Trainer {
 	return &Trainer{
-		M:   m,
-		Opt: nn.NewAdam(m.Cfg.LearnRate),
-		rng: rand.New(rand.NewSource(m.Cfg.Seed + 1000)),
+		M:    m,
+		Opt:  nn.NewAdam(m.Cfg.LearnRate),
+		rng:  rand.New(rand.NewSource(m.Cfg.Seed + 1000)),
+		sess: NewSession(m),
 	}
 }
 
@@ -85,18 +90,24 @@ func (t *Trainer) TrainEpoch(samples []*feature.EncodedPlan, batchSize int) floa
 
 // accumulate runs forward + backward for one sample, returning its loss.
 func (t *Trainer) accumulate(ep *feature.EncodedPlan) float64 {
-	st := t.M.forwardTrain(ep)
-	loss, hg := t.lossAndGrads(ep, st)
-	t.M.backwardPlan(ep, st, hg)
+	t.sess.forwardTrain(ep)
+	loss, hg := t.lossAndGrads(ep, t.sess)
+	t.M.backwardPlan(ep, t.sess, hg)
 	return loss
 }
 
 // lossAndGrads computes the multitask loss
 // ω·qerror(cost) + qerror(card) over the supervised nodes and the head
 // gradients for backprop.
-func (t *Trainer) lossAndGrads(ep *feature.EncodedPlan, st *planState) (float64, []headGrad) {
+func (t *Trainer) lossAndGrads(ep *feature.EncodedPlan, st *InferenceSession) (float64, []headGrad) {
 	cfg := t.M.Cfg
-	hg := make([]headGrad, len(ep.Nodes))
+	if cap(st.hg) < len(ep.Nodes) {
+		st.hg = make([]headGrad, len(ep.Nodes))
+	}
+	hg := st.hg[:len(ep.Nodes)]
+	for i := range hg {
+		hg[i] = headGrad{}
+	}
 	var loss float64
 	var supervised int
 

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 )
 
 // Vec is a dense float64 vector.
@@ -74,17 +75,66 @@ func (m *Mat) KaimingInit(rng *rand.Rand) {
 
 // MatVec computes dst = m * x. dst must have length m.Rows and x length
 // m.Cols; dst must not alias x.
+//
+// Rows are processed four at a time so each element of x is loaded once per
+// row quad, and the remainder rows fall back to the unrolled dot kernel.
 func MatVec(dst Vec, m *Mat, x Vec) {
 	if len(dst) != m.Rows || len(x) != m.Cols {
 		panic(fmt.Sprintf("tensor: MatVec shape mismatch: m %dx%d, x %d, dst %d", m.Rows, m.Cols, len(x), len(dst)))
 	}
-	for i := 0; i < m.Rows; i++ {
-		row := m.Data[i*m.Cols : (i+1)*m.Cols]
-		var s float64
-		for j, v := range row {
-			s += v * x[j]
+	c := m.Cols
+	i := 0
+	for ; i+4 <= m.Rows; i += 4 {
+		r0 := m.Data[i*c : i*c+c]
+		r1 := m.Data[(i+1)*c : (i+1)*c+c]
+		r2 := m.Data[(i+2)*c : (i+2)*c+c]
+		r3 := m.Data[(i+3)*c : (i+3)*c+c]
+		var s0, s1, s2, s3 float64
+		for j, xv := range x {
+			s0 += r0[j] * xv
+			s1 += r1[j] * xv
+			s2 += r2[j] * xv
+			s3 += r3[j] * xv
 		}
-		dst[i] = s
+		dst[i] = s0
+		dst[i+1] = s1
+		dst[i+2] = s2
+		dst[i+3] = s3
+	}
+	for ; i < m.Rows; i++ {
+		dst[i] = dotKernel(m.Data[i*c:i*c+c], x)
+	}
+}
+
+// MatVec4 computes dK = mK * x for four equally shaped matrices in one
+// interleaved pass: each element of x is loaded once per output row quad and
+// feeds four independent accumulator chains. This is the LSTM-style cell's
+// gate kernel — the four gate weight matrices share the input [R_{t-1}, x].
+func MatVec4(d0, d1, d2, d3 Vec, m0, m1, m2, m3 *Mat, x Vec) {
+	rows, cols := m0.Rows, m0.Cols
+	if m1.Rows != rows || m2.Rows != rows || m3.Rows != rows ||
+		m1.Cols != cols || m2.Cols != cols || m3.Cols != cols {
+		panic("tensor: MatVec4 matrix shape mismatch")
+	}
+	if len(d0) != rows || len(d1) != rows || len(d2) != rows || len(d3) != rows || len(x) != cols {
+		panic("tensor: MatVec4 vector shape mismatch")
+	}
+	for i := 0; i < rows; i++ {
+		r0 := m0.Data[i*cols : i*cols+cols]
+		r1 := m1.Data[i*cols : i*cols+cols]
+		r2 := m2.Data[i*cols : i*cols+cols]
+		r3 := m3.Data[i*cols : i*cols+cols]
+		var s0, s1, s2, s3 float64
+		for j, xv := range x {
+			s0 += r0[j] * xv
+			s1 += r1[j] * xv
+			s2 += r2[j] * xv
+			s3 += r3[j] * xv
+		}
+		d0[i] = s0
+		d1[i] = s1
+		d2[i] = s2
+		d3[i] = s3
 	}
 }
 
@@ -108,10 +158,7 @@ func MatTVec(dst Vec, m *Mat, x Vec) {
 		if xi == 0 {
 			continue
 		}
-		row := m.Data[i*m.Cols : (i+1)*m.Cols]
-		for j, v := range row {
-			dst[j] += v * xi
-		}
+		axpyKernel(xi, m.Data[i*m.Cols:(i+1)*m.Cols], dst)
 	}
 }
 
@@ -189,11 +236,40 @@ func Dot(a, b Vec) float64 {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("tensor: Dot length mismatch %d vs %d", len(a), len(b)))
 	}
-	var s float64
-	for i, v := range a {
-		s += v * b[i]
+	return dotKernel(a, b)
+}
+
+// dotKernel is the 4-way unrolled inner product: four independent
+// accumulators break the add dependency chain so the FMA units stay busy.
+func dotKernel(a, b Vec) float64 {
+	b = b[:len(a)]
+	var s0, s1, s2, s3 float64
+	n := len(a) &^ 3
+	for i := 0; i < n; i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
 	}
-	return s
+	for i := n; i < len(a); i++ {
+		s0 += a[i] * b[i]
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+// axpyKernel computes y += alpha*x with a 4-way unrolled loop.
+func axpyKernel(alpha float64, x, y Vec) {
+	y = y[:len(x)]
+	n := len(x) &^ 3
+	for i := 0; i < n; i += 4 {
+		y[i] += alpha * x[i]
+		y[i+1] += alpha * x[i+1]
+		y[i+2] += alpha * x[i+2]
+		y[i+3] += alpha * x[i+3]
+	}
+	for i := n; i < len(x); i++ {
+		y[i] += alpha * x[i]
+	}
 }
 
 // Norm2 returns the Euclidean norm of v.
@@ -239,6 +315,10 @@ func MinInto(dst, a, b Vec) {
 	}
 }
 
+// nzScratch recycles the zero-row bitmaps MatMulInto uses to skip sparse
+// feature rows, keeping the kernel allocation-free at steady state.
+var nzScratch = sync.Pool{New: func() any { return new([]bool) }}
+
 // MatMulInto computes dst = a * b for row-major matrices (a: m×k, b: k×n,
 // dst: m×n), overwriting dst. The ikj loop order streams b's rows, which is
 // what makes level-batched evaluation beat repeated MatVec calls.
@@ -249,9 +329,16 @@ func MatMulInto(dst, a, b *Mat) {
 	}
 	dst.Zero()
 	// Feature rows of b that are entirely zero (common for sparse one-hot
-	// inputs) contribute nothing; skip them wholesale.
-	nz := make([]bool, b.Rows)
+	// inputs) contribute nothing; skip them wholesale. The bitmap comes from
+	// a pool so repeated calls don't allocate.
+	nzp := nzScratch.Get().(*[]bool)
+	nz := *nzp
+	if cap(nz) < b.Rows {
+		nz = make([]bool, b.Rows)
+	}
+	nz = nz[:b.Rows]
 	for l := 0; l < b.Rows; l++ {
+		nz[l] = false
 		row := b.Data[l*b.Cols : (l+1)*b.Cols]
 		for _, v := range row {
 			if v != 0 {
@@ -267,12 +354,11 @@ func MatMulInto(dst, a, b *Mat) {
 			if av == 0 || !nz[l] {
 				continue
 			}
-			bRow := b.Data[l*b.Cols : (l+1)*b.Cols]
-			for j, bv := range bRow {
-				dRow[j] += av * bv
-			}
+			axpyKernel(av, b.Data[l*b.Cols:(l+1)*b.Cols], dRow)
 		}
 	}
+	*nzp = nz
+	nzScratch.Put(nzp)
 }
 
 // AddColumn accumulates dst += scale * column j of m (dst length m.Rows).
@@ -294,16 +380,45 @@ func MatMulTransBInto(dst, a, bt *Mat) {
 			a.Rows, a.Cols, bt.Rows, bt.Cols, dst.Rows, dst.Cols))
 	}
 	k := a.Cols
-	for i := 0; i < a.Rows; i++ {
-		aRow := a.Data[i*k : (i+1)*k]
-		dRow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
-		for j := 0; j < bt.Rows; j++ {
-			bRow := bt.Data[j*k : (j+1)*k]
-			var s float64
-			for l, av := range aRow {
-				s += av * bRow[l]
+	n := bt.Rows
+	// 2×2 register blocking: each pass over k feeds four dot products, so
+	// every loaded element of a and bt is used twice.
+	i := 0
+	for ; i+2 <= a.Rows; i += 2 {
+		a0 := a.Data[i*k : i*k+k]
+		a1 := a.Data[(i+1)*k : (i+1)*k+k]
+		d0 := dst.Data[i*dst.Cols : i*dst.Cols+n]
+		d1 := dst.Data[(i+1)*dst.Cols : (i+1)*dst.Cols+n]
+		j := 0
+		for ; j+2 <= n; j += 2 {
+			b0 := bt.Data[j*k : j*k+k]
+			b1 := bt.Data[(j+1)*k : (j+1)*k+k]
+			var s00, s01, s10, s11 float64
+			for l, av0 := range a0 {
+				av1 := a1[l]
+				bv0 := b0[l]
+				bv1 := b1[l]
+				s00 += av0 * bv0
+				s01 += av0 * bv1
+				s10 += av1 * bv0
+				s11 += av1 * bv1
 			}
-			dRow[j] = s
+			d0[j] = s00
+			d0[j+1] = s01
+			d1[j] = s10
+			d1[j+1] = s11
+		}
+		if j < n {
+			bRow := bt.Data[j*k : j*k+k]
+			d0[j] = dotKernel(a0, bRow)
+			d1[j] = dotKernel(a1, bRow)
+		}
+	}
+	if i < a.Rows {
+		aRow := a.Data[i*k : i*k+k]
+		dRow := dst.Data[i*dst.Cols : i*dst.Cols+n]
+		for j := 0; j < n; j++ {
+			dRow[j] = dotKernel(aRow, bt.Data[j*k:j*k+k])
 		}
 	}
 }

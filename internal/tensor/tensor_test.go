@@ -208,3 +208,108 @@ func TestShapePanics(t *testing.T) {
 	}()
 	MatVec(NewVec(3), NewMat(2, 2), NewVec(2))
 }
+
+// ---- Kernel microbenchmarks (hot-path trajectory tracked in BENCH_*.json) ----
+
+func benchRng() *rand.Rand { return rand.New(rand.NewSource(7)) }
+
+func randVec(rng *rand.Rand, n int) Vec {
+	v := NewVec(n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+func randMat(rng *rand.Rand, r, c int) *Mat {
+	m := NewMat(r, c)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+var sinkF float64
+
+func BenchmarkDot(b *testing.B) {
+	rng := benchRng()
+	x := randVec(rng, 256)
+	y := randVec(rng, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkF = Dot(x, y)
+	}
+}
+
+func BenchmarkMatVec(b *testing.B) {
+	rng := benchRng()
+	m := randMat(rng, 64, 128)
+	x := randVec(rng, 128)
+	dst := NewVec(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatVec(dst, m, x)
+	}
+}
+
+func BenchmarkMatMulTransBInto(b *testing.B) {
+	rng := benchRng()
+	a := randMat(rng, 64, 96)
+	bt := randMat(rng, 48, 96)
+	dst := NewMat(64, 48)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulTransBInto(dst, a, bt)
+	}
+}
+
+func BenchmarkMatMulInto(b *testing.B) {
+	rng := benchRng()
+	a := randMat(rng, 64, 96)
+	bm := randMat(rng, 96, 48)
+	dst := NewMat(64, 48)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulInto(dst, a, bm)
+	}
+}
+
+func TestMatVec4MatchesMatVec(t *testing.T) {
+	rng := benchRng()
+	for _, shape := range []struct{ r, c int }{{1, 1}, {3, 5}, {16, 48}, {7, 33}} {
+		ms := make([]*Mat, 4)
+		ds := make([]Vec, 4)
+		want := make([]Vec, 4)
+		for k := range ms {
+			ms[k] = randMat(rng, shape.r, shape.c)
+			ds[k] = NewVec(shape.r)
+			want[k] = NewVec(shape.r)
+		}
+		x := randVec(rng, shape.c)
+		MatVec4(ds[0], ds[1], ds[2], ds[3], ms[0], ms[1], ms[2], ms[3], x)
+		for k := range ms {
+			MatVec(want[k], ms[k], x)
+			for i := range want[k] {
+				if math.Abs(ds[k][i]-want[k][i]) > 1e-12 {
+					t.Fatalf("shape %dx%d gate %d row %d: %g != %g",
+						shape.r, shape.c, k, i, ds[k][i], want[k][i])
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkMatVec4(b *testing.B) {
+	rng := benchRng()
+	ms := make([]*Mat, 4)
+	ds := make([]Vec, 4)
+	for k := range ms {
+		ms[k] = randMat(rng, 16, 48)
+		ds[k] = NewVec(16)
+	}
+	x := randVec(rng, 48)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatVec4(ds[0], ds[1], ds[2], ds[3], ms[0], ms[1], ms[2], ms[3], x)
+	}
+}

@@ -1,0 +1,36 @@
+#!/bin/sh
+# Regenerates the hot-path benchmark snapshot (BENCH_INFERENCE.json by
+# default) so the perf trajectory of the inference runtime is tracked in-tree.
+# Usage: scripts/bench_json.sh [output.json]
+set -eu
+
+out="${1:-BENCH_INFERENCE.json}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test ./internal/core/ -run xxx \
+    -bench 'BenchmarkForwardSingle|BenchmarkForwardPooled|BenchmarkPoolGetParallel' \
+    -benchmem -benchtime=1s >"$tmp"
+go test ./internal/tensor/ -run xxx -bench . -benchmem -benchtime=1s >>"$tmp"
+
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+BEGIN { print "{"; printf "  \"generated\": \"%s\",\n  \"benchmarks\": {\n", date; n = 0 }
+/^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    nsop = ""; bop = ""; allocs = ""
+    for (i = 2; i < NF; i++) {
+        if ($(i+1) == "ns/op") nsop = $i
+        if ($(i+1) == "B/op") bop = $i
+        if ($(i+1) == "allocs/op") allocs = $i
+    }
+    if (nsop == "") next
+    if (n++) printf ",\n"
+    printf "    \"%s\": {\"ns_per_op\": %s", name, nsop
+    if (bop != "") printf ", \"bytes_per_op\": %s", bop
+    if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+    printf "}"
+}
+END { print "\n  }\n}" }
+' "$tmp" >"$out"
+
+echo "wrote $out"
