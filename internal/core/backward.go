@@ -114,19 +114,21 @@ func (m *Model) backwardEmbed(node *feature.EncodedNode, ns *nodeState, dE []flo
 	}
 	dPred := dE[off : off+m.ePred]
 
+	// One-hot and bitmap inputs are sparse: accumulate weight gradients
+	// column-wise over the set bits only (mirrors the sparse forward).
 	nn.ReLUBackwardInPlace(dOp, ns.opOut)
-	m.opL.Backward(nil, dOp, node.Op)
+	sparseLinearBackward(m.opL, dOp, node.Op)
 
 	nn.ReLUBackwardInPlace(dMeta, ns.metaOut)
-	m.metaL.Backward(nil, dMeta, node.Meta)
+	sparseLinearBackward(m.metaL, dMeta, node.Meta)
 
 	if m.bmL != nil {
 		nn.ReLUBackwardInPlace(dBm, ns.bmOut)
-		bm := node.Bitmap
-		if bm == nil {
-			bm = m.zeroBitmap
+		if node.Bitmap != nil {
+			sparseLinearBackward(m.bmL, dBm, node.Bitmap)
+		} else {
+			tensor.AddTo(m.bmL.B.GradVec(), dBm)
 		}
-		m.bmL.Backward(nil, dBm, bm)
 	}
 
 	if !node.Pred.Empty() {

@@ -2,7 +2,6 @@ package core
 
 import (
 	"math"
-	"runtime"
 	"sync"
 
 	"costest/internal/feature"
@@ -22,6 +21,14 @@ type levelItem struct {
 	node int32
 }
 
+// predItem addresses one predicate-tree node of one plan node.
+type predItem struct {
+	plan int
+	node int32
+	pidx int32
+	flat int // arena slot
+}
+
 // EstimateBatch evaluates many plans with the width-first batching of
 // Section 4.3. Instead of recursing plan-by-plan (one matrix-vector product
 // per gate per node), all nodes at the same height across the whole batch
@@ -31,410 +38,51 @@ type levelItem struct {
 // stream through the cache once per level instead of once per node, sparse
 // one-hot inputs skip their zero feature rows, and the remaining elementwise
 // work parallelizes across workers. This is the "Batch" variant of Table 12.
+//
+// This convenience API draws a reusable BatchSession from an internal pool,
+// so concurrent callers each get private arenas; the per-call state itself
+// is allocated once per session and reused (see BatchSession). Serving loops
+// that batch at high rates should hold their own NewBatchSession and call it
+// directly.
 func (m *Model) EstimateBatch(eps []*feature.EncodedPlan, workers int) []Estimate {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	if len(eps) == 0 {
 		return nil
 	}
-
-	// Global node ids across the batch.
-	offsets := make([]int, len(eps)+1)
-	maxDepth := 0
-	for i, ep := range eps {
-		offsets[i+1] = offsets[i] + len(ep.Nodes)
-		if ep.Depth() > maxDepth {
-			maxDepth = ep.Depth()
-		}
-	}
-	total := offsets[len(eps)]
-	dh := m.Cfg.Hidden
-	de := m.embedDim()
-
-	// Arena-backed per-node buffers.
-	eBuf := make([]float64, total*de)
-	gBuf := make([]float64, total*dh)
-	rBuf := make([]float64, total*dh)
-	eOf := func(id int) []float64 { return eBuf[id*de : (id+1)*de] }
-	gOf := func(id int) []float64 { return gBuf[id*dh : (id+1)*dh] }
-	rOf := func(id int) []float64 { return rBuf[id*dh : (id+1)*dh] }
-
-	levels := make([][]levelItem, maxDepth)
-	all := make([]levelItem, 0, total)
-	for pi, ep := range eps {
-		for d, nodes := range ep.Levels {
-			for _, n := range nodes {
-				levels[d] = append(levels[d], levelItem{plan: pi, node: n})
-			}
-		}
-	}
-	for _, lv := range levels {
-		all = append(all, lv...)
-	}
-
-	// Phase 1: simple-feature embeddings per node (parallel, sparse).
-	parallelFor(len(all), workers, func(k int) {
-		it := all[k]
-		node := &eps[it.plan].Nodes[it.node]
-		m.embedSimple(node, eOf(offsets[it.plan]+int(it.node)))
-	})
-	// Phase 1b: predicate embeddings, batched level-wise across all
-	// predicate trees in the batch.
-	m.batchPredicates(eps, all, offsets, eOf, workers)
-
-	// Phase 2: level-by-level batched representation evaluation.
-	for _, lv := range levels {
-		if len(lv) == 0 {
-			continue
-		}
-		switch m.Cfg.Rep {
-		case RepLSTM:
-			m.batchCellLevel(eps, lv, offsets, eOf, gOf, rOf, workers)
-		case RepNN:
-			m.batchNNLevel(eps, lv, offsets, eOf, rOf, workers)
-		}
-	}
-
-	// Phase 3: estimation heads per plan.
+	s := m.batchSession()
 	out := make([]Estimate, len(eps))
-	parallelFor(len(eps), workers, func(i int) {
-		ep := eps[i]
-		var hs headScratch
-		hs.init(m)
-		costS, cardS := m.evalHeads(rOf(offsets[i]+ep.Root), &hs)
-		if ep.CardNode != ep.Root {
-			_, cardS = m.evalHeads(rOf(offsets[i]+ep.CardNode), &hs)
-		}
-		out[i] = Estimate{
-			Cost: m.CostNorm.Denormalize(costS),
-			Card: m.CardNorm.Denormalize(cardS),
-		}
-	})
+	copy(out, s.EstimateBatch(eps, workers))
+	s.releasePlans()
+	m.batchSessions.Put(s)
 	return out
 }
 
-// predItem addresses one predicate-tree node of one plan node.
-type predItem struct {
-	plan int
-	node int32
-	pidx int32
-	flat int // arena slot
+// EstimateBatchWithPool is EstimateBatch with a representation memory pool:
+// sub-plans already in the pool skip their levels' rows (their stored G/R
+// are injected into the batch arenas up front), and newly computed sub-plan
+// representations are inserted afterwards — Section 3's online workflow on
+// the batch path.
+func (m *Model) EstimateBatchWithPool(eps []*feature.EncodedPlan, pool *MemoryPool, workers int) []Estimate {
+	if len(eps) == 0 {
+		return nil
+	}
+	s := m.batchSession()
+	out := make([]Estimate, len(eps))
+	copy(out, s.EstimateBatchWithPool(eps, pool, workers))
+	s.releasePlans()
+	m.batchSessions.Put(s)
+	return out
 }
 
-// batchPredicates embeds every predicate tree in the batch, level by level:
-// leaf vectors run through W_p (pool variants) or the predicate cell (LSTM
-// variant) as one GEMM per level, pooling connectives combine elementwise.
-// Results land in the pred segment of each node's embedding.
-func (m *Model) batchPredicates(eps []*feature.EncodedPlan, all []levelItem, offsets []int,
-	eOf func(int) []float64, workers int) {
-	ePred := m.ePred
-	predSegOff := m.eOp + m.eMeta + m.eBm
-
-	// Enumerate predicate nodes with their heights. A tree's nodes occupy
-	// consecutive arena slots, so a node's slot is its tree's base + pidx —
-	// no lookup tables needed. predBase is indexed by global plan-node id.
-	total := offsets[len(eps)]
-	predBase := make([]int, total)
-	for i := range predBase {
-		predBase[i] = -1
+// batchSession fetches a reusable batch session from the model's pool.
+func (m *Model) batchSession() *BatchSession {
+	if s, ok := m.batchSessions.Get().(*BatchSession); ok {
+		return s
 	}
-	var items []predItem
-	var itemHeights []int
-	maxH := 0
-	for _, it := range all {
-		node := &eps[it.plan].Nodes[it.node]
-		if node.Pred.Empty() {
-			continue
-		}
-		hs := predHeights(&node.Pred)
-		predBase[offsets[it.plan]+int(it.node)] = len(items)
-		for pidx := range node.Pred.Nodes {
-			items = append(items, predItem{plan: it.plan, node: it.node,
-				pidx: int32(pidx), flat: len(items)})
-			itemHeights = append(itemHeights, hs[pidx])
-			if hs[pidx] > maxH {
-				maxH = hs[pidx]
-			}
-		}
-	}
-	if len(items) == 0 {
-		return
-	}
-	flatOf := func(plan int, node int32, pidx int) int {
-		return predBase[offsets[plan]+int(node)] + pidx
-	}
-	pOut := make([]float64, len(items)*ePred)
-	outOf := func(flat int) []float64 { return pOut[flat*ePred : (flat+1)*ePred] }
-	var pG []float64
-	if m.Cfg.Pred == PredLSTM {
-		pG = make([]float64, len(items)*ePred)
-	}
-
-	byLevel := make([][]predItem, maxH+1)
-	for k, it := range items {
-		byLevel[itemHeights[k]] = append(byLevel[itemHeights[k]], it)
-	}
-
-	for h, lv := range byLevel {
-		if len(lv) == 0 {
-			continue
-		}
-		switch m.Cfg.Pred {
-		case PredPool, PredPoolMean:
-			if h == 0 {
-				// All leaves: one GEMM through W_p.
-				n := len(lv)
-				atomDim := m.Enc.AtomDim()
-				xt := tensor.NewMat(n, atomDim) // node-major
-				for j, it := range lv {
-					copy(xt.Row(j), eps[it.plan].Nodes[it.node].Pred.Nodes[it.pidx].Vec)
-				}
-				out := tensor.NewMat(ePred, n)
-				tensor.MatMulTransBInto(out, m.predLeaf.W.Mat(), xt)
-				b := m.predLeaf.B.Vec()
-				parallelFor(n, workers, func(j int) {
-					dst := outOf(lv[j].flat)
-					for i := 0; i < ePred; i++ {
-						dst[i] = out.Data[i*n+j] + b[i]
-					}
-				})
-			} else {
-				parallelFor(len(lv), workers, func(j int) {
-					it := lv[j]
-					pn := &eps[it.plan].Nodes[it.node].Pred.Nodes[it.pidx]
-					l := outOf(flatOf(it.plan, it.node, pn.Left))
-					r := outOf(flatOf(it.plan, it.node, pn.Right))
-					dst := outOf(it.flat)
-					switch {
-					case m.Cfg.Pred == PredPoolMean:
-						tensor.Mean(dst, l, r)
-					case pn.Bool == 0:
-						tensor.MinInto(dst, l, r)
-					default:
-						tensor.MaxInto(dst, l, r)
-					}
-				})
-			}
-		case PredLSTM:
-			m.batchPredCellLevel(eps, lv, flatOf, pOut, pG, workers)
-		}
-	}
-
-	// Copy each tree root (pidx 0) into its node's embedding segment.
-	parallelFor(len(items), workers, func(k int) {
-		it := items[k]
-		if it.pidx != 0 {
-			return
-		}
-		id := offsets[it.plan] + int(it.node)
-		copy(eOf(id)[predSegOff:predSegOff+ePred], outOf(it.flat))
-	})
-}
-
-// batchPredCellLevel runs the predicate tree-LSTM for one level of predicate
-// nodes as gate GEMMs (leaves simply have zero child states).
-func (m *Model) batchPredCellLevel(eps []*feature.EncodedPlan, lv []predItem,
-	flatOf func(int, int32, int) int, pOut, pG []float64, workers int) {
-	ePred := m.ePred
-	atomDim := m.Enc.AtomDim()
-	n := len(lv)
-	zt := tensor.NewMat(n, ePred+atomDim) // node-major
-	gPrev := tensor.NewMat(n, ePred)
-	parallelFor(n, workers, func(j int) {
-		it := lv[j]
-		pn := &eps[it.plan].Nodes[it.node].Pred.Nodes[it.pidx]
-		var gl, rl, gr, rr []float64
-		if pn.Left >= 0 {
-			fl := flatOf(it.plan, it.node, pn.Left)
-			gl = pG[fl*ePred : (fl+1)*ePred]
-			rl = pOut[fl*ePred : (fl+1)*ePred]
-		}
-		if pn.Right >= 0 {
-			fr := flatOf(it.plan, it.node, pn.Right)
-			gr = pG[fr*ePred : (fr+1)*ePred]
-			rr = pOut[fr*ePred : (fr+1)*ePred]
-		}
-		zRow := zt.Row(j)
-		gRow := gPrev.Row(j)
-		for i := 0; i < ePred; i++ {
-			var g, r float64
-			if gl != nil {
-				g += gl[i]
-				r += rl[i]
-			}
-			if gr != nil {
-				g += gr[i]
-				r += rr[i]
-			}
-			gRow[i] = g / 2
-			zRow[i] = r / 2
-		}
-		copy(zRow[ePred:], pn.Vec)
-	})
-	f, k1, r, k2 := gateGEMM(m.predCell, zt, ePred)
-	parallelFor(n, workers, func(j int) {
-		it := lv[j]
-		g := pG[it.flat*ePred : (it.flat+1)*ePred]
-		rOut := pOut[it.flat*ePred : (it.flat+1)*ePred]
-		gRow := gPrev.Row(j)
-		for i := 0; i < ePred; i++ {
-			gt := f.Data[i*n+j]*gRow[i] + k1.Data[i*n+j]*r.Data[i*n+j]
-			g[i] = gt
-			rOut[i] = k2.Data[i*n+j] * math.Tanh(gt)
-		}
-	})
-}
-
-// predHeights returns each predicate node's height above the leaves.
-func predHeights(ep *feature.EncodedPred) []int {
-	hs := make([]int, len(ep.Nodes))
-	var rec func(i int) int
-	rec = func(i int) int {
-		pn := &ep.Nodes[i]
-		if pn.IsLeaf {
-			hs[i] = 0
-			return 0
-		}
-		l := rec(pn.Left)
-		r := rec(pn.Right)
-		h := l
-		if r > h {
-			h = r
-		}
-		hs[i] = h + 1
-		return h + 1
-	}
-	if len(ep.Nodes) > 0 {
-		rec(0)
-	}
-	return hs
-}
-
-// gateGEMM evaluates the four cell gates over a level: pre = W·zᵀ (zt holds
-// one node's input per contiguous row), then the gate nonlinearity,
-// overlapping the four independent products.
-func gateGEMM(cell *lstmCell, zt *tensor.Mat, dh int) (f, k1, r, k2 *tensor.Mat) {
-	n := zt.Rows
-	f = tensor.NewMat(dh, n)
-	k1 = tensor.NewMat(dh, n)
-	r = tensor.NewMat(dh, n)
-	k2 = tensor.NewMat(dh, n)
-	run := func(dst *tensor.Mat, l *nn.Linear, act func(float64) float64) {
-		tensor.MatMulTransBInto(dst, l.W.Mat(), zt)
-		b := l.B.Vec()
-		for i := 0; i < dh; i++ {
-			row := dst.Data[i*n : (i+1)*n]
-			bi := b[i]
-			for j := range row {
-				row[j] = act(row[j] + bi)
-			}
-		}
-	}
-	var wg sync.WaitGroup
-	wg.Add(4)
-	go func() { defer wg.Done(); run(f, cell.wf, sigmoidScalar) }()
-	go func() { defer wg.Done(); run(k1, cell.wk1, sigmoidScalar) }()
-	go func() { defer wg.Done(); run(r, cell.wr, math.Tanh) }()
-	go func() { defer wg.Done(); run(k2, cell.wk2, sigmoidScalar) }()
-	wg.Wait()
-	return f, k1, r, k2
-}
-
-// batchCellLevel evaluates the paper's cell over one plan level as gate
-// GEMMs: pre = W · Z where Z stacks [R_{t-1}; x] column-per-node.
-func (m *Model) batchCellLevel(eps []*feature.EncodedPlan, lv []levelItem, offsets []int,
-	eOf, gOf, rOf func(int) []float64, workers int) {
-	dh := m.Cfg.Hidden
-	de := m.embedDim()
-	n := len(lv)
-	in := dh + de
-	zt := tensor.NewMat(n, in)    // node-major: row j = [Rprev_j; E_j]
-	gPrev := tensor.NewMat(n, dh) // node-major
-
-	parallelFor(n, workers, func(j int) {
-		it := lv[j]
-		node := &eps[it.plan].Nodes[it.node]
-		base := offsets[it.plan]
-		var gl, rl, gr, rr []float64
-		if node.Left >= 0 {
-			gl, rl = gOf(base+node.Left), rOf(base+node.Left)
-		}
-		if node.Right >= 0 {
-			gr, rr = gOf(base+node.Right), rOf(base+node.Right)
-		}
-		zRow := zt.Row(j)
-		gRow := gPrev.Row(j)
-		for i := 0; i < dh; i++ {
-			var g, r float64
-			if gl != nil {
-				g += gl[i]
-				r += rl[i]
-			}
-			if gr != nil {
-				g += gr[i]
-				r += rr[i]
-			}
-			gRow[i] = g / 2
-			zRow[i] = r / 2
-		}
-		copy(zRow[dh:], eOf(base+int(it.node)))
-	})
-
-	f, k1, r, k2 := gateGEMM(m.repCell, zt, dh)
-	parallelFor(n, workers, func(j int) {
-		it := lv[j]
-		id := offsets[it.plan] + int(it.node)
-		g := gOf(id)
-		rOut := rOf(id)
-		gRow := gPrev.Row(j)
-		for i := 0; i < dh; i++ {
-			gt := f.Data[i*n+j]*gRow[i] + k1.Data[i*n+j]*r.Data[i*n+j]
-			g[i] = gt
-			rOut[i] = k2.Data[i*n+j] * math.Tanh(gt)
-		}
-	})
-}
-
-// batchNNLevel is the RepNN counterpart: R = ReLU(W·[E, Rl, Rr] + b) as one
-// GEMM per level.
-func (m *Model) batchNNLevel(eps []*feature.EncodedPlan, lv []levelItem, offsets []int,
-	eOf, rOf func(int) []float64, workers int) {
-	dh := m.Cfg.Hidden
-	de := m.embedDim()
-	n := len(lv)
-	zt := tensor.NewMat(n, de+2*dh) // node-major
-	parallelFor(n, workers, func(j int) {
-		it := lv[j]
-		node := &eps[it.plan].Nodes[it.node]
-		base := offsets[it.plan]
-		zRow := zt.Row(j)
-		copy(zRow, eOf(base+int(it.node)))
-		if node.Left >= 0 {
-			copy(zRow[de:de+dh], rOf(base+node.Left))
-		}
-		if node.Right >= 0 {
-			copy(zRow[de+dh:], rOf(base+node.Right))
-		}
-	})
-	out := tensor.NewMat(dh, n)
-	tensor.MatMulTransBInto(out, m.repNN.W.Mat(), zt)
-	b := m.repNN.B.Vec()
-	parallelFor(n, workers, func(j int) {
-		it := lv[j]
-		r := rOf(offsets[it.plan] + int(it.node))
-		for i := 0; i < dh; i++ {
-			v := out.Data[i*n+j] + b[i]
-			if v < 0 {
-				v = 0
-			}
-			r[i] = v
-		}
-	})
+	return NewBatchSession(m)
 }
 
 // embedSimple computes one node's operation/metadata/bitmap embeddings
-// (the predicate segment is filled by batchPredicates), exploiting input
+// (the predicate segment is filled by the predicate sweep), exploiting input
 // sparsity: one-hot and bitmap features touch only the weight columns of
 // their set bits.
 func (m *Model) embedSimple(node *feature.EncodedNode, dst []float64) {
@@ -471,6 +119,21 @@ func sparseLinearReLU(dst []float64, l *nn.Linear, x []float64) {
 			dst[i] = 0
 		}
 	}
+}
+
+// sparseLinearBackward accumulates a linear layer's parameter gradients for
+// upstream gradient dy and sparse input x, visiting only the weight columns
+// of non-zero x (the gradient mirror of sparseLinearReLU; no input gradient
+// — embedding inputs are data). Element-for-element identical to
+// Linear.Backward(nil, dy, x), just skipping the zero columns.
+func sparseLinearBackward(l *nn.Linear, dy, x []float64) {
+	w := l.W.GradMat()
+	for j, v := range x {
+		if v != 0 {
+			tensor.AddToColumn(w, j, v, dy)
+		}
+	}
+	tensor.AddTo(l.B.GradVec(), dy)
 }
 
 // biasReLU is the zero-input case: ReLU(b).

@@ -1,0 +1,838 @@
+package core
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"costest/internal/feature"
+	"costest/internal/nn"
+	"costest/internal/tensor"
+)
+
+// BatchSession owns every per-call buffer the width-first batch evaluator
+// needs — node/level arenas, the eBuf/gBuf/rBuf representation slabs, the
+// predicate level buffers and the per-level gate matrices — sized by
+// high-water mark and reused across calls. After warming up on the largest
+// batch shape it has seen, steady-state EstimateBatch performs zero heap
+// allocations, the batch-path counterpart of InferenceSession (PR 1).
+//
+// The parallel kernels are bound once at construction (the fn* fields) so
+// that repeated calls never materialize fresh closures; per-level context
+// travels through session fields (lvi/plvi) instead of captures. With
+// workers <= 1 every kernel runs inline, which is the allocation-free path
+// that AllocsPerRun tests enforce; with more workers the same kernels are
+// fanned out through parallelFor.
+//
+// A session is bound to one model and is NOT safe for concurrent use; give
+// each goroutine its own (Model.EstimateBatch maintains an internal
+// sync.Pool of sessions for the convenience API).
+//
+// Training passes (Trainer.TrainEpochBatched) run the same forward with
+// retention switched on: per-level gate activations, tanh caches and
+// all-node head activations stay resident for the level-wise backward in
+// batch_backward.go.
+type BatchSession struct {
+	m *Model
+	// Cached model dimensions.
+	de, dh, eh, epd, atomDim int
+
+	workers int
+	train   bool
+
+	// Per-call plan addressing.
+	eps     []*feature.EncodedPlan
+	offsets []int
+	total   int
+	levels  [][]levelItem
+	all     []levelItem
+
+	// cardPath marks, per global node id, the ancestors of each plan's
+	// cardinality node (pool-integration bookkeeping).
+	cardPath []bool
+
+	// Node slabs: embedding, G/R representations, tanh(G) cache (training).
+	eBuf, gBuf, rBuf, tBuf []float64
+
+	// Per-level GEMM state. zt/gPrev are node-major ([n×in], [n×dh]); the
+	// gate pre-activation outputs f/k1/r/k2 are gate-major ([dh×n]); nnPre
+	// is the RepNN pre-activation ([dh×n]). Retained per level so training
+	// backward can replay them.
+	zt, gPrev, f, k1, r, k2, nnPre []tensor.Mat
+
+	// Predicate-tree machinery.
+	predBase         []int
+	items            []predItem
+	itemHeights      []int
+	byLevel          [][]predItem
+	predHs           []int
+	pOut, pG         []float64
+	ptBuf            []float64 // tanh of predicate G (training, PredLSTM)
+	pzt, pgPrev      []tensor.Mat
+	pf, pk1, pr, pk2 []tensor.Mat
+	pxt, pleafOut    tensor.Mat // pool-variant leaf GEMM (level 0)
+
+	// Estimation heads.
+	headItems    []headItem
+	headR        tensor.Mat
+	rView        tensor.Mat // node-major view over rBuf (training heads)
+	hCost, hCard tensor.Mat
+	sCost, sCard []float64
+	out          []Estimate
+
+	// Current-level context read by the prebound kernels.
+	lvi  int // plan level index
+	plvi int // predicate level index
+
+	// Backward state (training only, sized lazily; see batch_backward.go).
+	dCostS, dCardS                   []float64
+	dG, dR, dE                       []float64
+	dPre                             []float64
+	dH                               tensor.Mat
+	dF, dK1, dRM, dK2, dGp, dZ       tensor.Mat
+	dPOut, dPG                       []float64
+	dPF, dPK1, dPRM, dPK2, dPGp, dPZ tensor.Mat
+	dLeaf                            tensor.Mat
+
+	// Prebound parallel kernels (see bindKernels).
+	fnEmbed, fnPredRoot                 func(int)
+	fnPredLeafGather, fnPredLeafScatter func(int)
+	fnPredPoolCombine                   func(int)
+	fnPredCellFill, fnPredCellFinish    func(int)
+	fnCellFill, fnCellFinish            func(int)
+	fnNNFill, fnNNFinish                func(int)
+	fnHeadFinish                        func(int)
+}
+
+// headItem addresses one head evaluation: a plan's root (cost) or its
+// cardinality node.
+type headItem struct {
+	plan int
+	node int32
+}
+
+// NewBatchSession returns a batch session bound to m. Buffers grow on first
+// contact with each batch shape and are reused afterwards.
+func NewBatchSession(m *Model) *BatchSession {
+	s := &BatchSession{
+		m: m, de: m.embedDim(), dh: m.Cfg.Hidden, eh: m.Cfg.EstHidden,
+		epd: m.ePred, atomDim: m.Enc.AtomDim(),
+	}
+	s.bindKernels()
+	return s
+}
+
+// EstimateBatch evaluates many plans with the width-first batching of
+// Section 4.3 (see Model.EstimateBatch for the algorithm). The returned
+// slice is owned by the session and overwritten by the next call.
+func (s *BatchSession) EstimateBatch(eps []*feature.EncodedPlan, workers int) []Estimate {
+	return s.run(eps, nil, workers, false)
+}
+
+// EstimateBatchWithPool is EstimateBatch with a representation memory pool
+// (Section 3): sub-plans whose signatures hit the pool have their stored
+// G/R injected into the batch slabs up front and their subtrees skip the
+// level sweep entirely; newly computed sub-plan representations are
+// inserted afterwards. The returned slice is owned by the session.
+func (s *BatchSession) EstimateBatchWithPool(eps []*feature.EncodedPlan, pool *MemoryPool, workers int) []Estimate {
+	return s.run(eps, pool, workers, false)
+}
+
+// slab accessors
+
+func (s *BatchSession) eOf(id int) []float64 { return s.eBuf[id*s.de : (id+1)*s.de] }
+func (s *BatchSession) gOf(id int) []float64 { return s.gBuf[id*s.dh : (id+1)*s.dh] }
+func (s *BatchSession) rOf(id int) []float64 { return s.rBuf[id*s.dh : (id+1)*s.dh] }
+func (s *BatchSession) tOf(id int) []float64 { return s.tBuf[id*s.dh : (id+1)*s.dh] }
+
+func (s *BatchSession) pOutOf(flat int) []float64 { return s.pOut[flat*s.epd : (flat+1)*s.epd] }
+func (s *BatchSession) pGOf(flat int) []float64   { return s.pG[flat*s.epd : (flat+1)*s.epd] }
+func (s *BatchSession) ptOf(flat int) []float64   { return s.ptBuf[flat*s.epd : (flat+1)*s.epd] }
+
+// flatOf maps one predicate-tree node of one plan node to its arena slot (a
+// tree's nodes occupy consecutive slots from the tree's base).
+func (s *BatchSession) flatOf(plan int, node int32, pidx int) int {
+	return s.predBase[s.offsets[plan]+int(node)] + pidx
+}
+
+// releasePlans drops the session's references to the last batch's plans (the
+// item/level lists hold only indices) so an idle pooled session does not pin
+// caller memory. Arenas stay warm.
+func (s *BatchSession) releasePlans() { s.eps = nil }
+
+// parRun executes fn(0..n-1), inline when the session is single-worker and
+// via parallelFor otherwise. fn must be one of the prebound kernels so the
+// sequential path stays allocation-free.
+func (s *BatchSession) parRun(n int, fn func(int)) {
+	if s.workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	parallelFor(n, s.workers, fn)
+}
+
+// run is the shared forward driver for inference and training passes.
+func (s *BatchSession) run(eps []*feature.EncodedPlan, pool *MemoryPool, workers int, train bool) []Estimate {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	s.workers = workers
+	s.train = train
+	s.eps = eps
+	if len(eps) == 0 {
+		return nil
+	}
+	s.layout(pool)
+
+	// Phase 1: simple-feature embeddings (parallel, sparse), then predicate
+	// embeddings batched level-wise across every predicate tree.
+	s.parRun(len(s.all), s.fnEmbed)
+	s.batchPreds()
+
+	// Phase 2: level-by-level batched representation evaluation.
+	for d := range s.levels {
+		lv := s.levels[d]
+		if len(lv) == 0 {
+			continue
+		}
+		s.lvi = d
+		n := len(lv)
+		switch s.m.Cfg.Rep {
+		case RepLSTM:
+			matInto(&s.zt[d], n, s.dh+s.de)
+			matInto(&s.gPrev[d], n, s.dh)
+			matInto(&s.f[d], s.dh, n)
+			matInto(&s.k1[d], s.dh, n)
+			matInto(&s.r[d], s.dh, n)
+			matInto(&s.k2[d], s.dh, n)
+			s.parRun(n, s.fnCellFill)
+			s.runGates(s.m.repCell, &s.zt[d], &s.f[d], &s.k1[d], &s.r[d], &s.k2[d])
+			s.parRun(n, s.fnCellFinish)
+		case RepNN:
+			matInto(&s.zt[d], n, s.de+2*s.dh)
+			matInto(&s.nnPre[d], s.dh, n)
+			s.parRun(n, s.fnNNFill)
+			tensor.MatMulTransBInto(&s.nnPre[d], s.m.repNN.W.Mat(), &s.zt[d])
+			s.parRun(n, s.fnNNFinish)
+		}
+	}
+
+	// Phase 3: estimation heads — every node for training (sub-plan
+	// supervision), only roots and cardinality nodes for serving.
+	if train {
+		s.rView = tensor.Mat{Rows: s.total, Cols: s.dh, Data: s.rBuf[:s.total*s.dh]}
+		s.evalHeadsMat(&s.rView)
+		return nil
+	}
+	s.headsTop()
+	if pool != nil {
+		s.insertAll(pool)
+	}
+	return s.out
+}
+
+// layout computes the global node addressing for this batch, sizes the
+// slabs, and builds the level lists — excluding subtrees served from the
+// memory pool, whose representations are injected into gBuf/rBuf directly.
+func (s *BatchSession) layout(pool *MemoryPool) {
+	eps := s.eps
+	s.offsets = growSlice(s.offsets, len(eps)+1)
+	s.offsets[0] = 0
+	maxDepth := 0
+	for i, ep := range eps {
+		s.offsets[i+1] = s.offsets[i] + len(ep.Nodes)
+		if ep.Depth() > maxDepth {
+			maxDepth = ep.Depth()
+		}
+	}
+	s.total = s.offsets[len(eps)]
+	s.eBuf = growSlice(s.eBuf, s.total*s.de)
+	s.gBuf = growSlice(s.gBuf, s.total*s.dh)
+	s.rBuf = growSlice(s.rBuf, s.total*s.dh)
+	if s.train {
+		s.tBuf = growSlice(s.tBuf, s.total*s.dh)
+	}
+	if s.m.Cfg.Rep == RepNN {
+		// RepNN has no G channel; keep the slab zero so pool inserts and
+		// the single-plan path agree on a zero G.
+		for i := range s.gBuf {
+			s.gBuf[i] = 0
+		}
+	}
+
+	s.levels = growOuter(s.levels, maxDepth)
+	s.zt = growMats(s.zt, maxDepth)
+	s.gPrev = growMats(s.gPrev, maxDepth)
+	s.f = growMats(s.f, maxDepth)
+	s.k1 = growMats(s.k1, maxDepth)
+	s.r = growMats(s.r, maxDepth)
+	s.k2 = growMats(s.k2, maxDepth)
+	s.nnPre = growMats(s.nnPre, maxDepth)
+
+	if pool == nil {
+		for pi, ep := range eps {
+			for d, nodes := range ep.Levels {
+				for _, n := range nodes {
+					s.levels[d] = append(s.levels[d], levelItem{plan: pi, node: n})
+				}
+			}
+		}
+	} else {
+		s.cardPath = growSlice(s.cardPath, s.total)
+		for i := range s.cardPath {
+			s.cardPath[i] = false
+		}
+		for pi, ep := range eps {
+			s.markCardPath(pi, ep, ep.Root)
+		}
+		for pi, ep := range eps {
+			s.placeNode(pi, ep, ep.Root, pool)
+		}
+	}
+
+	s.all = s.all[:0]
+	for _, lv := range s.levels {
+		s.all = append(s.all, lv...)
+	}
+}
+
+// markCardPath flags idx and its ancestors when the subtree contains the
+// plan's cardinality node; returns whether it does.
+func (s *BatchSession) markCardPath(pi int, ep *feature.EncodedPlan, idx int) bool {
+	node := &ep.Nodes[idx]
+	found := idx == ep.CardNode
+	if !found && node.Left >= 0 {
+		found = s.markCardPath(pi, ep, node.Left)
+	}
+	if !found && node.Right >= 0 {
+		found = s.markCardPath(pi, ep, node.Right)
+	}
+	if found {
+		s.cardPath[s.offsets[pi]+idx] = true
+	}
+	return found
+}
+
+// placeNode assigns the subtree at idx to level lists, skipping sub-plans
+// whose representations the pool already holds (their G/R are copied into
+// the slabs so parents and heads read them like computed rows). Returns the
+// node's level, or -1 when the subtree was served from the pool.
+func (s *BatchSession) placeNode(pi int, ep *feature.EncodedPlan, idx int, pool *MemoryPool) int {
+	node := &ep.Nodes[idx]
+	id := s.offsets[pi] + idx
+	if g, r, ok := pool.Get(node.Sig); ok {
+		usable := true
+		if s.cardPath[id] && idx != ep.CardNode {
+			// The plan's cardinality node sits strictly inside this pooled
+			// subtree. Taking the hit is only sound if its representation
+			// is itself resident (a bounded pool may have evicted it);
+			// otherwise fall through and recompute the subtree, exactly
+			// like the single-plan path.
+			cid := s.offsets[pi] + ep.CardNode
+			if cg, cr, cok := pool.Get(ep.Nodes[ep.CardNode].Sig); cok {
+				copy(s.gOf(cid), cg)
+				copy(s.rOf(cid), cr)
+			} else {
+				usable = false
+			}
+		}
+		if usable {
+			copy(s.gOf(id), g)
+			copy(s.rOf(id), r)
+			return -1
+		}
+	}
+	h := 0
+	if node.Left >= 0 {
+		if lh := s.placeNode(pi, ep, node.Left, pool) + 1; lh > h {
+			h = lh
+		}
+	}
+	if node.Right >= 0 {
+		if rh := s.placeNode(pi, ep, node.Right, pool) + 1; rh > h {
+			h = rh
+		}
+	}
+	s.levels[h] = append(s.levels[h], levelItem{plan: pi, node: int32(idx)})
+	return h
+}
+
+// insertAll stores every freshly computed sub-plan representation in the
+// pool (the paper's online workflow).
+func (s *BatchSession) insertAll(pool *MemoryPool) {
+	for _, it := range s.all {
+		id := s.offsets[it.plan] + int(it.node)
+		pool.Put(s.eps[it.plan].Nodes[it.node].Sig, s.gOf(id), s.rOf(id))
+	}
+}
+
+// batchPreds embeds every predicate tree in the batch, level by level: leaf
+// vectors run through W_p (pool variants) or the predicate cell (LSTM
+// variant) as one GEMM per level, pooling connectives combine elementwise.
+// Results land in the pred segment of each node's embedding.
+func (s *BatchSession) batchPreds() {
+	m := s.m
+	s.items = s.items[:0]
+	s.itemHeights = s.itemHeights[:0]
+	s.predBase = growSlice(s.predBase, s.total)
+	for i := range s.predBase {
+		s.predBase[i] = -1
+	}
+	maxH := -1
+	for _, it := range s.all {
+		node := &s.eps[it.plan].Nodes[it.node]
+		if node.Pred.Empty() {
+			continue
+		}
+		if cap(s.predHs) < len(node.Pred.Nodes) {
+			s.predHs = make([]int, len(node.Pred.Nodes))
+		}
+		hs := s.predHs[:len(node.Pred.Nodes)]
+		predHeightsInto(&node.Pred, 0, hs)
+		s.predBase[s.offsets[it.plan]+int(it.node)] = len(s.items)
+		for pidx := range node.Pred.Nodes {
+			s.items = append(s.items, predItem{plan: it.plan, node: it.node,
+				pidx: int32(pidx), flat: len(s.items)})
+			s.itemHeights = append(s.itemHeights, hs[pidx])
+			if hs[pidx] > maxH {
+				maxH = hs[pidx]
+			}
+		}
+	}
+	if len(s.items) == 0 {
+		return
+	}
+	s.pOut = growSlice(s.pOut, len(s.items)*s.epd)
+	if m.Cfg.Pred == PredLSTM {
+		s.pG = growSlice(s.pG, len(s.items)*s.epd)
+		if s.train {
+			s.ptBuf = growSlice(s.ptBuf, len(s.items)*s.epd)
+		}
+		s.pzt = growMats(s.pzt, maxH+1)
+		s.pgPrev = growMats(s.pgPrev, maxH+1)
+		s.pf = growMats(s.pf, maxH+1)
+		s.pk1 = growMats(s.pk1, maxH+1)
+		s.pr = growMats(s.pr, maxH+1)
+		s.pk2 = growMats(s.pk2, maxH+1)
+	}
+	s.byLevel = growOuter(s.byLevel, maxH+1)
+	for k, it := range s.items {
+		s.byLevel[s.itemHeights[k]] = append(s.byLevel[s.itemHeights[k]], it)
+	}
+
+	for h := range s.byLevel {
+		lv := s.byLevel[h]
+		if len(lv) == 0 {
+			continue
+		}
+		s.plvi = h
+		n := len(lv)
+		switch m.Cfg.Pred {
+		case PredPool, PredPoolMean:
+			if h == 0 {
+				// All leaves: one GEMM through W_p.
+				matInto(&s.pxt, n, s.atomDim)
+				s.parRun(n, s.fnPredLeafGather)
+				matInto(&s.pleafOut, s.epd, n)
+				tensor.MatMulTransBInto(&s.pleafOut, m.predLeaf.W.Mat(), &s.pxt)
+				s.parRun(n, s.fnPredLeafScatter)
+			} else {
+				s.parRun(n, s.fnPredPoolCombine)
+			}
+		case PredLSTM:
+			matInto(&s.pzt[h], n, s.epd+s.atomDim)
+			matInto(&s.pgPrev[h], n, s.epd)
+			matInto(&s.pf[h], s.epd, n)
+			matInto(&s.pk1[h], s.epd, n)
+			matInto(&s.pr[h], s.epd, n)
+			matInto(&s.pk2[h], s.epd, n)
+			s.parRun(n, s.fnPredCellFill)
+			s.runGates(m.predCell, &s.pzt[h], &s.pf[h], &s.pk1[h], &s.pr[h], &s.pk2[h])
+			s.parRun(n, s.fnPredCellFinish)
+		}
+	}
+
+	// Copy each tree root (pidx 0) into its node's embedding segment.
+	s.parRun(len(s.items), s.fnPredRoot)
+}
+
+// runGates evaluates the four cell gates over a level: pre = W·ztᵀ, then
+// bias + nonlinearity in place. The four products are independent; they run
+// inline on a single-worker session and overlapped otherwise.
+func (s *BatchSession) runGates(cell *lstmCell, zt *tensor.Mat, f, k1, r, k2 *tensor.Mat) {
+	if s.workers <= 1 {
+		gateRun(f, cell.wf, zt, sigmoidScalar)
+		gateRun(k1, cell.wk1, zt, sigmoidScalar)
+		gateRun(r, cell.wr, zt, math.Tanh)
+		gateRun(k2, cell.wk2, zt, sigmoidScalar)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(4)
+	go func() { defer wg.Done(); gateRun(f, cell.wf, zt, sigmoidScalar) }()
+	go func() { defer wg.Done(); gateRun(k1, cell.wk1, zt, sigmoidScalar) }()
+	go func() { defer wg.Done(); gateRun(r, cell.wr, zt, math.Tanh) }()
+	go func() { defer wg.Done(); gateRun(k2, cell.wk2, zt, sigmoidScalar) }()
+	wg.Wait()
+}
+
+// gateRun computes one gate's pre-activations for a level (dst = W·ztᵀ) and
+// applies bias and nonlinearity in place.
+func gateRun(dst *tensor.Mat, l *nn.Linear, zt *tensor.Mat, act func(float64) float64) {
+	tensor.MatMulTransBInto(dst, l.W.Mat(), zt)
+	b := l.B.Vec()
+	n := zt.Rows
+	for i := 0; i < dst.Rows; i++ {
+		row := dst.Data[i*n : (i+1)*n]
+		bi := b[i]
+		for j := range row {
+			row[j] = act(row[j] + bi)
+		}
+	}
+}
+
+// headsTop evaluates the estimation heads for each plan's root and
+// cardinality node as batched GEMMs and denormalizes into s.out.
+func (s *BatchSession) headsTop() {
+	s.headItems = s.headItems[:0]
+	for i, ep := range s.eps {
+		s.headItems = append(s.headItems, headItem{plan: i, node: int32(ep.Root)})
+		if ep.CardNode != ep.Root {
+			s.headItems = append(s.headItems, headItem{plan: i, node: int32(ep.CardNode)})
+		}
+	}
+	nh := len(s.headItems)
+	matInto(&s.headR, nh, s.dh)
+	for j, it := range s.headItems {
+		copy(s.headR.Row(j), s.rOf(s.offsets[it.plan]+int(it.node)))
+	}
+	s.evalHeadsMat(&s.headR)
+
+	s.out = growSlice(s.out, len(s.eps))
+	for j, it := range s.headItems {
+		ep := s.eps[it.plan]
+		if int(it.node) == ep.Root {
+			s.out[it.plan].Cost = s.m.CostNorm.Denormalize(s.sCost[j])
+			if ep.CardNode == ep.Root {
+				s.out[it.plan].Card = s.m.CardNorm.Denormalize(s.sCard[j])
+			}
+		} else {
+			s.out[it.plan].Card = s.m.CardNorm.Denormalize(s.sCard[j])
+		}
+	}
+}
+
+// evalHeadsMat runs both estimation heads over a node-major representation
+// matrix: the hidden layers are single GEMMs (H = R·Wᵀ), the 1-wide sigmoid
+// outputs reduce per row. Hidden activations stay resident (hCost/hCard)
+// for training backward.
+func (s *BatchSession) evalHeadsMat(R *tensor.Mat) {
+	nh := R.Rows
+	matInto(&s.hCost, nh, s.eh)
+	matInto(&s.hCard, nh, s.eh)
+	s.sCost = growSlice(s.sCost, nh)
+	s.sCard = growSlice(s.sCard, nh)
+	tensor.MatMulTransBInto(&s.hCost, R, s.m.costH.W.Mat())
+	tensor.MatMulTransBInto(&s.hCard, R, s.m.cardH.W.Mat())
+	s.parRun(nh, s.fnHeadFinish)
+}
+
+// predHeightsInto writes each predicate node's height above the leaves into
+// hs and returns the subtree height at i.
+func predHeightsInto(ep *feature.EncodedPred, i int, hs []int) int {
+	pn := &ep.Nodes[i]
+	if pn.IsLeaf {
+		hs[i] = 0
+		return 0
+	}
+	l := predHeightsInto(ep, pn.Left, hs)
+	r := predHeightsInto(ep, pn.Right, hs)
+	h := l
+	if r > h {
+		h = r
+	}
+	hs[i] = h + 1
+	return h + 1
+}
+
+// bindKernels allocates the session's parallel kernels once. Each reads its
+// loop context from session fields (lvi/plvi and the per-level matrices) so
+// steady-state calls never materialize new closures.
+func (s *BatchSession) bindKernels() {
+	m := s.m
+
+	s.fnEmbed = func(k int) {
+		it := s.all[k]
+		node := &s.eps[it.plan].Nodes[it.node]
+		m.embedSimple(node, s.eOf(s.offsets[it.plan]+int(it.node)))
+	}
+
+	s.fnPredRoot = func(k int) {
+		it := s.items[k]
+		if it.pidx != 0 {
+			return
+		}
+		predSegOff := m.eOp + m.eMeta + m.eBm
+		id := s.offsets[it.plan] + int(it.node)
+		copy(s.eOf(id)[predSegOff:predSegOff+s.epd], s.pOutOf(it.flat))
+	}
+
+	s.fnPredLeafGather = func(j int) {
+		it := s.byLevel[s.plvi][j]
+		copy(s.pxt.Row(j), s.eps[it.plan].Nodes[it.node].Pred.Nodes[it.pidx].Vec)
+	}
+
+	s.fnPredLeafScatter = func(j int) {
+		lv := s.byLevel[s.plvi]
+		n := len(lv)
+		b := m.predLeaf.B.Vec()
+		dst := s.pOutOf(lv[j].flat)
+		for i := 0; i < s.epd; i++ {
+			dst[i] = s.pleafOut.Data[i*n+j] + b[i]
+		}
+	}
+
+	s.fnPredPoolCombine = func(j int) {
+		it := s.byLevel[s.plvi][j]
+		pn := &s.eps[it.plan].Nodes[it.node].Pred.Nodes[it.pidx]
+		l := s.pOutOf(s.flatOf(it.plan, it.node, pn.Left))
+		r := s.pOutOf(s.flatOf(it.plan, it.node, pn.Right))
+		dst := s.pOutOf(it.flat)
+		switch {
+		case m.Cfg.Pred == PredPoolMean:
+			tensor.Mean(dst, l, r)
+		case pn.Bool == 0:
+			tensor.MinInto(dst, l, r)
+		default:
+			tensor.MaxInto(dst, l, r)
+		}
+	}
+
+	s.fnPredCellFill = func(j int) {
+		it := s.byLevel[s.plvi][j]
+		pn := &s.eps[it.plan].Nodes[it.node].Pred.Nodes[it.pidx]
+		epd := s.epd
+		var gl, rl, gr, rr []float64
+		if pn.Left >= 0 {
+			fl := s.flatOf(it.plan, it.node, pn.Left)
+			gl, rl = s.pGOf(fl), s.pOutOf(fl)
+		}
+		if pn.Right >= 0 {
+			fr := s.flatOf(it.plan, it.node, pn.Right)
+			gr, rr = s.pGOf(fr), s.pOutOf(fr)
+		}
+		zRow := s.pzt[s.plvi].Row(j)
+		gRow := s.pgPrev[s.plvi].Row(j)
+		for i := 0; i < epd; i++ {
+			var g, r float64
+			if gl != nil {
+				g += gl[i]
+				r += rl[i]
+			}
+			if gr != nil {
+				g += gr[i]
+				r += rr[i]
+			}
+			gRow[i] = g / 2
+			zRow[i] = r / 2
+		}
+		copy(zRow[epd:], pn.Vec)
+	}
+
+	s.fnPredCellFinish = func(j int) {
+		lv := s.byLevel[s.plvi]
+		n := len(lv)
+		it := lv[j]
+		g := s.pGOf(it.flat)
+		rOut := s.pOutOf(it.flat)
+		gRow := s.pgPrev[s.plvi].Row(j)
+		f, k1, r, k2 := &s.pf[s.plvi], &s.pk1[s.plvi], &s.pr[s.plvi], &s.pk2[s.plvi]
+		if s.train {
+			tRow := s.ptOf(it.flat)
+			for i := 0; i < s.epd; i++ {
+				gt := f.Data[i*n+j]*gRow[i] + k1.Data[i*n+j]*r.Data[i*n+j]
+				g[i] = gt
+				t := math.Tanh(gt)
+				tRow[i] = t
+				rOut[i] = k2.Data[i*n+j] * t
+			}
+			return
+		}
+		for i := 0; i < s.epd; i++ {
+			gt := f.Data[i*n+j]*gRow[i] + k1.Data[i*n+j]*r.Data[i*n+j]
+			g[i] = gt
+			rOut[i] = k2.Data[i*n+j] * math.Tanh(gt)
+		}
+	}
+
+	s.fnCellFill = func(j int) {
+		it := s.levels[s.lvi][j]
+		node := &s.eps[it.plan].Nodes[it.node]
+		base := s.offsets[it.plan]
+		dh := s.dh
+		var gl, rl, gr, rr []float64
+		if node.Left >= 0 {
+			gl, rl = s.gOf(base+node.Left), s.rOf(base+node.Left)
+		}
+		if node.Right >= 0 {
+			gr, rr = s.gOf(base+node.Right), s.rOf(base+node.Right)
+		}
+		zRow := s.zt[s.lvi].Row(j)
+		gRow := s.gPrev[s.lvi].Row(j)
+		for i := 0; i < dh; i++ {
+			var g, r float64
+			if gl != nil {
+				g += gl[i]
+				r += rl[i]
+			}
+			if gr != nil {
+				g += gr[i]
+				r += rr[i]
+			}
+			gRow[i] = g / 2
+			zRow[i] = r / 2
+		}
+		copy(zRow[dh:], s.eOf(base+int(it.node)))
+	}
+
+	s.fnCellFinish = func(j int) {
+		lv := s.levels[s.lvi]
+		n := len(lv)
+		it := lv[j]
+		id := s.offsets[it.plan] + int(it.node)
+		g := s.gOf(id)
+		rOut := s.rOf(id)
+		gRow := s.gPrev[s.lvi].Row(j)
+		f, k1, r, k2 := &s.f[s.lvi], &s.k1[s.lvi], &s.r[s.lvi], &s.k2[s.lvi]
+		if s.train {
+			tRow := s.tOf(id)
+			for i := 0; i < s.dh; i++ {
+				gt := f.Data[i*n+j]*gRow[i] + k1.Data[i*n+j]*r.Data[i*n+j]
+				g[i] = gt
+				t := math.Tanh(gt)
+				tRow[i] = t
+				rOut[i] = k2.Data[i*n+j] * t
+			}
+			return
+		}
+		for i := 0; i < s.dh; i++ {
+			gt := f.Data[i*n+j]*gRow[i] + k1.Data[i*n+j]*r.Data[i*n+j]
+			g[i] = gt
+			rOut[i] = k2.Data[i*n+j] * math.Tanh(gt)
+		}
+	}
+
+	s.fnNNFill = func(j int) {
+		it := s.levels[s.lvi][j]
+		node := &s.eps[it.plan].Nodes[it.node]
+		base := s.offsets[it.plan]
+		de, dh := s.de, s.dh
+		zRow := s.zt[s.lvi].Row(j)
+		copy(zRow, s.eOf(base+int(it.node)))
+		if node.Left >= 0 {
+			copy(zRow[de:de+dh], s.rOf(base+node.Left))
+		} else {
+			// Reused buffers: absent children must be re-zeroed explicitly.
+			for i := de; i < de+dh; i++ {
+				zRow[i] = 0
+			}
+		}
+		if node.Right >= 0 {
+			copy(zRow[de+dh:], s.rOf(base+node.Right))
+		} else {
+			for i := de + dh; i < len(zRow); i++ {
+				zRow[i] = 0
+			}
+		}
+	}
+
+	s.fnNNFinish = func(j int) {
+		lv := s.levels[s.lvi]
+		n := len(lv)
+		it := lv[j]
+		r := s.rOf(s.offsets[it.plan] + int(it.node))
+		pre := &s.nnPre[s.lvi]
+		b := m.repNN.B.Vec()
+		for i := 0; i < s.dh; i++ {
+			v := pre.Data[i*n+j] + b[i]
+			if v < 0 {
+				v = 0
+			}
+			r[i] = v
+		}
+	}
+
+	s.fnHeadFinish = func(j int) {
+		hb := m.costH.B.Vec()
+		row := s.hCost.Row(j)
+		for i, bi := range hb {
+			v := row[i] + bi
+			if v < 0 {
+				v = 0
+			}
+			row[i] = v
+		}
+		s.sCost[j] = sigmoidScalar(tensor.Dot(row, m.costO.W.Mat().Data) + m.costO.B.Vec()[0])
+
+		hb = m.cardH.B.Vec()
+		row = s.hCard.Row(j)
+		for i, bi := range hb {
+			v := row[i] + bi
+			if v < 0 {
+				v = 0
+			}
+			row[i] = v
+		}
+		s.sCard[j] = sigmoidScalar(tensor.Dot(row, m.cardO.W.Mat().Data) + m.cardO.B.Vec()[0])
+	}
+}
+
+// sizing helpers
+
+// matInto resizes m to rows×cols, reusing its backing array when possible.
+// Contents are unspecified — callers overwrite every element.
+func matInto(m *tensor.Mat, rows, cols int) {
+	n := rows * cols
+	if cap(m.Data) < n {
+		m.Data = make([]float64, n)
+	}
+	m.Data = m.Data[:n]
+	m.Rows, m.Cols = rows, cols
+}
+
+// growSlice returns a length-n slice, reusing s's backing array when it is
+// large enough. Contents are unspecified.
+func growSlice[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// growOuter resizes a slice of per-level lists to n levels, keeping every
+// inner list's backing array and resetting each to length 0.
+func growOuter[T any](s [][]T, n int) [][]T {
+	if cap(s) < n {
+		ns := make([][]T, n)
+		copy(ns, s[:cap(s)])
+		s = ns
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = s[i][:0]
+	}
+	return s
+}
+
+// growMats resizes a per-level matrix list, keeping existing matrices (and
+// their backing arrays) intact.
+func growMats(s []tensor.Mat, n int) []tensor.Mat {
+	if cap(s) < n {
+		ns := make([]tensor.Mat, n)
+		copy(ns, s[:cap(s)])
+		s = ns
+	}
+	return s[:n]
+}

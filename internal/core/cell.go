@@ -99,6 +99,27 @@ func (c *lstmCell) forward(st *cellState, x, gl, rl, gr, rr []float64) {
 	}
 }
 
+// levelBackwardGEMM folds one batch level's per-node gate gradients into the
+// cell's parameter gradients and the level's input gradient as matrix-matrix
+// products: for each gate, W.grad += dGateᵀ·Z (every node's outer product in
+// one sweep), B.grad += column sums of dGate, and dZ += dGate·W. The dGate
+// matrices and zt are node-major ([n×dh] / [n×in], rows aligned with the
+// level's items); dz ([n×in]) must be zeroed by the caller. This is the
+// level-wise counterpart of the four per-node Linear.Backward calls in
+// backward() — identical math, one weight-stream per level instead of per
+// node.
+func (c *lstmCell) levelBackwardGEMM(df, dk1, dr, dk2, zt, dz *tensor.Mat) {
+	gates := [4]struct {
+		d *tensor.Mat
+		l *nn.Linear
+	}{{df, c.wf}, {dk1, c.wk1}, {dr, c.wr}, {dk2, c.wk2}}
+	for _, g := range gates {
+		tensor.MatMulTransAInto(g.l.W.GradMat(), g.d, zt)
+		tensor.AddColumnSums(g.l.B.GradVec(), g.d)
+		tensor.AddMatMulInto(dz, g.d, g.l.W.Mat())
+	}
+}
+
 // backward consumes upstream gradients (dG, dR) w.r.t. (G_t, R_t) and
 // accumulates parameter gradients, writing input gradients into dx and the
 // children's (dGl, dRl, dGr, dRr) accumulators (added, not overwritten).

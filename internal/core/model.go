@@ -35,14 +35,12 @@ type Model struct {
 	CostNorm nn.Normalizer
 	CardNorm nn.Normalizer
 
-	// zeroBitmap is the shared all-zero input for nodes without a sample
-	// bitmap, so the embedding layer never materializes one per call.
-	zeroBitmap []float64
-
 	// sessions recycles InferenceSessions for the Estimate/EstimateWithPool
 	// convenience API, keeping the steady-state per-plan path allocation-free
 	// even under concurrent callers.
 	sessions sync.Pool
+	// batchSessions does the same for the EstimateBatch convenience API.
+	batchSessions sync.Pool
 }
 
 // New builds a model wired to the encoder's feature dimensions.
@@ -57,7 +55,6 @@ func New(cfg Config, enc *feature.Encoder) *Model {
 	if enc.BitmapDim() > 0 {
 		m.eBm = cfg.BitmapEmbed
 		m.bmL = nn.NewLinear(ps, "embed.bitmap", enc.BitmapDim(), cfg.BitmapEmbed, rng)
-		m.zeroBitmap = make([]float64, enc.BitmapDim())
 	}
 	switch cfg.Pred {
 	case PredPool, PredPoolMean:

@@ -30,11 +30,19 @@ type MemoryPool struct {
 
 type poolShard struct {
 	mu sync.RWMutex
-	m  map[string]poolEntry
+	m  map[string]*poolEntry
+	// ring holds the shard's resident entries in clock order (bounded pools
+	// only); hand is the clock sweep position.
+	ring []*poolEntry
+	hand int
 }
 
 type poolEntry struct {
+	sig  string
 	g, r []float64
+	// ref is the second-chance bit: set on every Get (an atomic, so the read
+	// path stays under the shard RLock), cleared by the clock sweep.
+	ref atomic.Bool
 }
 
 // NewMemoryPool returns an empty, unbounded pool.
@@ -44,16 +52,19 @@ func NewMemoryPool() *MemoryPool {
 
 // NewBoundedMemoryPool returns an empty pool holding at most maxEntries
 // sub-plan representations (0 means unbounded). The bound is approximate —
-// it is enforced per shard — and when a shard is full an arbitrary resident
-// entry is evicted to make room, which is cheap and good enough for a cache
-// whose entries are all equally recomputable.
+// it is enforced per shard — and eviction follows a per-shard
+// clock/second-chance policy: every Get marks its entry referenced, and the
+// clock sweep evicts the first entry it finds unreferenced, clearing marks
+// as it passes. Hot sub-plan signatures (the optimizer re-probing common
+// join prefixes) therefore survive a stream of one-off insertions, which
+// arbitrary-victim eviction could not guarantee.
 func NewBoundedMemoryPool(maxEntries int) *MemoryPool {
 	p := &MemoryPool{}
 	if maxEntries > 0 {
 		p.maxPerShard = (maxEntries + poolShardCount - 1) / poolShardCount
 	}
 	for i := range p.shards {
-		p.shards[i].m = make(map[string]poolEntry)
+		p.shards[i].m = make(map[string]*poolEntry)
 	}
 	return p
 }
@@ -69,22 +80,31 @@ func (p *MemoryPool) shardFor(sig string) *poolShard {
 	return &p.shards[maphash.String(poolHashSeed, sig)&(poolShardCount-1)]
 }
 
-// Get returns the stored representation for a sub-plan signature.
+// Get returns the stored representation for a sub-plan signature, marking
+// the entry referenced for the second-chance eviction sweep.
 func (p *MemoryPool) Get(sig string) (g, r []float64, ok bool) {
 	s := p.shardFor(sig)
 	s.mu.RLock()
 	e, found := s.m[sig]
+	if found {
+		g, r = e.g, e.r
+		e.ref.Store(true)
+	}
 	s.mu.RUnlock()
 	if !found {
 		p.misses.Add(1)
 		return nil, nil, false
 	}
 	p.hits.Add(1)
-	return e.g, e.r, true
+	return g, r, true
 }
 
-// Put stores a representation (copied) under the signature, evicting an
-// arbitrary entry when the shard is at its size bound.
+// Put stores a representation (copied) under the signature. When a bounded
+// shard is full, the clock hand sweeps the shard's ring: entries referenced
+// since the last pass get a second chance (their bit is cleared), and the
+// first unreferenced entry is evicted, its ring slot reused for the new
+// entry. The sweep terminates within two passes — the first pass can clear
+// every bit, the second must find a victim.
 func (p *MemoryPool) Put(sig string, g, r []float64) {
 	gc := make([]float64, len(g))
 	rc := make([]float64, len(r))
@@ -92,15 +112,32 @@ func (p *MemoryPool) Put(sig string, g, r []float64) {
 	copy(rc, r)
 	s := p.shardFor(sig)
 	s.mu.Lock()
-	if p.maxPerShard > 0 && len(s.m) >= p.maxPerShard {
-		if _, resident := s.m[sig]; !resident {
-			for victim := range s.m {
-				delete(s.m, victim)
+	if e, resident := s.m[sig]; resident {
+		// Refresh in place; readers that already fetched the old slices keep
+		// them (Put copies, entries never mutate a published slice).
+		e.g, e.r = gc, rc
+		s.mu.Unlock()
+		return
+	}
+	e := &poolEntry{sig: sig, g: gc, r: rc}
+	if p.maxPerShard > 0 {
+		if len(s.ring) >= p.maxPerShard {
+			for {
+				v := s.ring[s.hand]
+				if v.ref.CompareAndSwap(true, false) {
+					s.hand = (s.hand + 1) % len(s.ring)
+					continue
+				}
+				delete(s.m, v.sig)
+				s.ring[s.hand] = e
+				s.hand = (s.hand + 1) % len(s.ring)
 				break
 			}
+		} else {
+			s.ring = append(s.ring, e)
 		}
 	}
-	s.m[sig] = poolEntry{g: gc, r: rc}
+	s.m[sig] = e
 	s.mu.Unlock()
 }
 
@@ -136,7 +173,9 @@ func (p *MemoryPool) Reset() {
 		p.shards[i].mu.Lock()
 	}
 	for i := range p.shards {
-		p.shards[i].m = make(map[string]poolEntry)
+		p.shards[i].m = make(map[string]*poolEntry)
+		p.shards[i].ring = p.shards[i].ring[:0]
+		p.shards[i].hand = 0
 	}
 	p.hits.Store(0)
 	p.misses.Store(0)

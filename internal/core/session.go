@@ -2,7 +2,6 @@ package core
 
 import (
 	"costest/internal/feature"
-	"costest/internal/nn"
 )
 
 // InferenceSession owns every per-node forward buffer the model needs to
@@ -151,34 +150,6 @@ func (s *InferenceSession) forwardTrain(ep *feature.EncodedPlan) {
 	for i := range ep.Nodes {
 		s.forwardHeads(&s.nodes[i])
 	}
-}
-
-// headScratch holds the estimation-layer buffers for one stateless head
-// evaluation (the batch path, which reads representations from its own
-// arena rather than session node slots).
-type headScratch struct {
-	h   []float64
-	out []float64
-}
-
-func (hs *headScratch) init(m *Model) {
-	hs.h = make([]float64, m.Cfg.EstHidden)
-	hs.out = make([]float64, 1)
-}
-
-// evalHeads computes the sigmoid head outputs for a representation r.
-func (m *Model) evalHeads(r []float64, hs *headScratch) (costS, cardS float64) {
-	m.costH.Forward(hs.h, r)
-	nn.ReLU(hs.h, hs.h)
-	m.costO.Forward(hs.out, hs.h)
-	nn.Sigmoid(hs.out, hs.out)
-	costS = hs.out[0]
-	m.cardH.Forward(hs.h, r)
-	nn.ReLU(hs.h, hs.h)
-	m.cardO.Forward(hs.out, hs.h)
-	nn.Sigmoid(hs.out, hs.out)
-	cardS = hs.out[0]
-	return costS, cardS
 }
 
 // f64Arena is a bump allocator over one float64 slab, reset per backward

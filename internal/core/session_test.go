@@ -147,6 +147,44 @@ func TestBoundedPoolEviction(t *testing.T) {
 	}
 }
 
+// TestClockEvictionKeepsHotEntries pins the second-chance behavior: hot
+// signatures that keep getting probed between insertions must survive a long
+// stream of one-off cold insertions. (Arbitrary-victim eviction would lose
+// roughly half the hot set under this pressure.)
+func TestClockEvictionKeepsHotEntries(t *testing.T) {
+	const (
+		hotCount   = 24
+		maxEntries = 256 // 8 per shard — far above any plausible hot-set skew
+		coldPuts   = 500
+	)
+	pool := NewBoundedMemoryPool(maxEntries)
+	g := []float64{1, 2}
+	r := []float64{3, 4}
+	hot := make([]string, hotCount)
+	for i := range hot {
+		hot[i] = fmt.Sprintf("hot-join-prefix-%d", i)
+		pool.Put(hot[i], g, r)
+	}
+	for k := 0; k < coldPuts; k++ {
+		// The optimizer keeps probing its hot sub-plans, so their reference
+		// bits are set when the next one-off insertion needs a victim.
+		for _, sig := range hot {
+			if _, _, ok := pool.Get(sig); !ok {
+				t.Fatalf("hot signature %q evicted after %d cold insertions", sig, k)
+			}
+		}
+		pool.Put(fmt.Sprintf("cold-oneoff-%d", k), g, r)
+	}
+	for _, sig := range hot {
+		if _, _, ok := pool.Get(sig); !ok {
+			t.Fatalf("hot signature %q not resident after eviction pressure", sig)
+		}
+	}
+	if n := pool.Len(); n > maxEntries+poolShardCount {
+		t.Fatalf("bounded pool grew to %d entries (cap %d)", n, maxEntries)
+	}
+}
+
 // TestPoolEvictedCardNode forces the case a bounded pool creates: the root's
 // representation is resident but the cardinality node's entry was evicted.
 // The estimator must recompute the cardinality subtree, not degrade to the

@@ -20,6 +20,11 @@ type Trainer struct {
 	// sess is the trainer-owned forward/backward arena, reused across every
 	// sample so the training loop shares the inference runtime's caches.
 	sess *InferenceSession
+
+	// bsess is the shared batch forward/backward arena for TrainEpochBatched,
+	// created on first use; batchBuf is the reusable minibatch gather slice.
+	bsess    *BatchSession
+	batchBuf []*feature.EncodedPlan
 }
 
 // NewTrainer builds a trainer for the model.
@@ -82,6 +87,44 @@ func (t *Trainer) TrainEpoch(samples []*feature.EncodedPlan, batchSize int) floa
 		for _, i := range idx[start:end] {
 			total += t.accumulate(samples[i])
 		}
+		t.M.PS.ClipGradNorm(t.M.Cfg.GradClip * float64(end-start))
+		t.Opt.Step(t.M.PS)
+	}
+	return total / float64(len(samples))
+}
+
+// TrainEpochBatched runs one epoch like TrainEpoch, but forwards and
+// backwards whole minibatches through one shared BatchSession and gradient
+// arena: the level-wise batched forward of Section 4.3 paired with the
+// level-wise GEMM backward of batch_backward.go, with elementwise work
+// spread across `workers` goroutines (<= 0 means GOMAXPROCS). Gradients
+// match the per-sample TrainEpoch up to floating-point reassociation; epoch
+// time drops because every level's gate products and weight-gradient
+// accumulations run as matrix-matrix kernels. Returns the mean per-sample
+// loss.
+func (t *Trainer) TrainEpochBatched(samples []*feature.EncodedPlan, batchSize, workers int) float64 {
+	if t.costLoss == nil {
+		t.rebuildLosses()
+	}
+	if batchSize <= 0 {
+		batchSize = 32
+	}
+	if t.bsess == nil {
+		t.bsess = NewBatchSession(t.M)
+	}
+	idx := t.rng.Perm(len(samples))
+	var total float64
+	for start := 0; start < len(idx); start += batchSize {
+		end := start + batchSize
+		if end > len(idx) {
+			end = len(idx)
+		}
+		t.batchBuf = t.batchBuf[:0]
+		for _, i := range idx[start:end] {
+			t.batchBuf = append(t.batchBuf, samples[i])
+		}
+		t.M.PS.ZeroGrad()
+		total += t.accumulateBatch(t.batchBuf, workers)
 		t.M.PS.ClipGradNorm(t.M.Cfg.GradClip * float64(end-start))
 		t.Opt.Step(t.M.PS)
 	}

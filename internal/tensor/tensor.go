@@ -370,6 +370,15 @@ func AddColumn(dst Vec, m *Mat, j int, scale float64) {
 	}
 }
 
+// AddToColumn accumulates column j of m += scale * v (v length m.Rows) —
+// the gradient-side mirror of AddColumn: a linear layer's weight gradient
+// against a sparse input touches only the columns of the set bits.
+func AddToColumn(m *Mat, j int, scale float64, v Vec) {
+	for i := 0; i < m.Rows; i++ {
+		m.Data[i*m.Cols+j] += scale * v[i]
+	}
+}
+
 // MatMulTransBInto computes dst = a * bᵀ for row-major matrices
 // (a: m×k, bt: n×k, dst: m×n). Both operands stream contiguous rows — the
 // cache-friendly kernel for level-batched evaluation, where bt holds one
@@ -420,6 +429,117 @@ func MatMulTransBInto(dst, a, bt *Mat) {
 		for j := 0; j < n; j++ {
 			dRow[j] = dotKernel(aRow, bt.Data[j*k:j*k+k])
 		}
+	}
+}
+
+// axpy2Kernel computes y += a0*x0 + a1*x1 with a 4-way unrolled loop — the
+// shared inner kernel of the accumulate-GEMMs, which process two source rows
+// per pass so every destination element is loaded once per row pair.
+func axpy2Kernel(a0 float64, x0 Vec, a1 float64, x1 Vec, y Vec) {
+	x1 = x1[:len(x0)]
+	y = y[:len(x0)]
+	n := len(x0) &^ 3
+	for i := 0; i < n; i += 4 {
+		y[i] += a0*x0[i] + a1*x1[i]
+		y[i+1] += a0*x0[i+1] + a1*x1[i+1]
+		y[i+2] += a0*x0[i+2] + a1*x1[i+2]
+		y[i+3] += a0*x0[i+3] + a1*x1[i+3]
+	}
+	for i := n; i < len(x0); i++ {
+		y[i] += a0*x0[i] + a1*x1[i]
+	}
+}
+
+// AddMatMulInto accumulates dst += a * b for row-major matrices (a: m×k,
+// b: k×n, dst: m×n). This is the input-gradient GEMM of the level-wise
+// backward pass: dZ += dGates·W with one node per row of a and dst. The
+// 2×2 blocking mirrors MatMulTransBInto — two rows of a advance together
+// through k, so each streamed row of b feeds two destination rows.
+func AddMatMulInto(dst, a, b *Mat) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: AddMatMulInto shape mismatch: a %dx%d, b %dx%d, dst %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	k := a.Cols
+	i := 0
+	for ; i+2 <= a.Rows; i += 2 {
+		a0 := a.Data[i*k : i*k+k]
+		a1 := a.Data[(i+1)*k : (i+1)*k+k]
+		d0 := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+		d1 := dst.Data[(i+1)*dst.Cols : (i+2)*dst.Cols]
+		l := 0
+		for ; l+2 <= k; l += 2 {
+			b0 := b.Data[l*b.Cols : (l+1)*b.Cols]
+			b1 := b.Data[(l+1)*b.Cols : (l+2)*b.Cols]
+			axpy2Kernel(a0[l], b0, a0[l+1], b1, d0)
+			axpy2Kernel(a1[l], b0, a1[l+1], b1, d1)
+		}
+		if l < k {
+			bRow := b.Data[l*b.Cols : (l+1)*b.Cols]
+			axpyKernel(a0[l], bRow, d0)
+			axpyKernel(a1[l], bRow, d1)
+		}
+	}
+	if i < a.Rows {
+		aRow := a.Data[i*k : i*k+k]
+		dRow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+		for l, av := range aRow {
+			if av == 0 {
+				continue
+			}
+			axpyKernel(av, b.Data[l*b.Cols:(l+1)*b.Cols], dRow)
+		}
+	}
+}
+
+// MatMulTransAInto accumulates dst += aᵀ * b for row-major matrices
+// (a: k×m, b: k×n, dst: m×n). This is the weight-gradient GEMM of the
+// level-wise backward pass: with one node per row of a (upstream gate
+// gradients) and b (layer inputs), dW += dGᵀ·Z sums every node's outer
+// product in a single cache-friendly sweep. Two rows of a/b are processed
+// per pass (the 2×2 blocking of MatMulTransBInto transposed), and zero
+// gradient pairs skip their row updates — sparse upstream gradients (ReLU
+// kills, unsupervised heads) cost nothing.
+func MatMulTransAInto(dst, a, b *Mat) {
+	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulTransAInto shape mismatch: a %dx%d, b %dx%d, dst %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	m := a.Cols
+	l := 0
+	for ; l+2 <= a.Rows; l += 2 {
+		aRow0 := a.Data[l*m : (l+1)*m]
+		aRow1 := a.Data[(l+1)*m : (l+2)*m]
+		bRow0 := b.Data[l*b.Cols : (l+1)*b.Cols]
+		bRow1 := b.Data[(l+1)*b.Cols : (l+2)*b.Cols]
+		for i := 0; i < m; i++ {
+			a0, a1 := aRow0[i], aRow1[i]
+			if a0 == 0 && a1 == 0 {
+				continue
+			}
+			axpy2Kernel(a0, bRow0, a1, bRow1, dst.Data[i*dst.Cols:(i+1)*dst.Cols])
+		}
+	}
+	if l < a.Rows {
+		aRow := a.Data[l*m : (l+1)*m]
+		bRow := b.Data[l*b.Cols : (l+1)*b.Cols]
+		for i, av := range aRow {
+			if av == 0 {
+				continue
+			}
+			axpyKernel(av, bRow, dst.Data[i*dst.Cols:(i+1)*dst.Cols])
+		}
+	}
+}
+
+// AddColumnSums accumulates dst[j] += Σ_i m[i,j] — the bias-gradient
+// companion of MatMulTransAInto (summing a level's per-node gate gradients).
+func AddColumnSums(dst Vec, m *Mat) {
+	if len(dst) != m.Cols {
+		panic(fmt.Sprintf("tensor: AddColumnSums length mismatch: dst %d, m %dx%d", len(dst), m.Rows, m.Cols))
+	}
+	for i := 0; i < m.Rows; i++ {
+		AddTo(dst, m.Data[i*m.Cols:(i+1)*m.Cols])
 	}
 }
 

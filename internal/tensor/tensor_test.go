@@ -313,3 +313,117 @@ func BenchmarkMatVec4(b *testing.B) {
 		MatVec4(ds[0], ds[1], ds[2], ds[3], ms[0], ms[1], ms[2], ms[3], x)
 	}
 }
+
+// naiveAccum computes want += a(opA) * b(opB) elementwise for the accumulate
+// GEMM tests.
+func naiveAddMatMul(dst, a, b *Mat, transA bool) {
+	for i := 0; i < dst.Rows; i++ {
+		for j := 0; j < dst.Cols; j++ {
+			var s float64
+			if transA {
+				for l := 0; l < a.Rows; l++ {
+					s += a.At(l, i) * b.At(l, j)
+				}
+			} else {
+				for l := 0; l < a.Cols; l++ {
+					s += a.At(i, l) * b.At(l, j)
+				}
+			}
+			dst.Data[i*dst.Cols+j] += s
+		}
+	}
+}
+
+func TestAddMatMulInto(t *testing.T) {
+	rng := benchRng()
+	for _, shape := range []struct{ m, k, n int }{{1, 1, 1}, {2, 3, 4}, {5, 7, 9}, {16, 48, 33}, {7, 2, 16}} {
+		a := randMat(rng, shape.m, shape.k)
+		bm := randMat(rng, shape.k, shape.n)
+		dst := randMat(rng, shape.m, shape.n)
+		want := dst.Clone()
+		naiveAddMatMul(want, a, bm, false)
+		AddMatMulInto(dst, a, bm)
+		for i := range dst.Data {
+			if math.Abs(dst.Data[i]-want.Data[i]) > 1e-10 {
+				t.Fatalf("%dx%dx%d: dst[%d] = %g, want %g", shape.m, shape.k, shape.n, i, dst.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+func TestMatMulTransAInto(t *testing.T) {
+	rng := benchRng()
+	for _, shape := range []struct{ k, m, n int }{{1, 1, 1}, {3, 2, 4}, {7, 5, 9}, {48, 16, 33}, {2, 7, 16}} {
+		a := randMat(rng, shape.k, shape.m)
+		bm := randMat(rng, shape.k, shape.n)
+		dst := randMat(rng, shape.m, shape.n)
+		want := dst.Clone()
+		naiveAddMatMul(want, a, bm, true)
+		MatMulTransAInto(dst, a, bm)
+		for i := range dst.Data {
+			if math.Abs(dst.Data[i]-want.Data[i]) > 1e-10 {
+				t.Fatalf("%dx%dx%d: dst[%d] = %g, want %g", shape.k, shape.m, shape.n, i, dst.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+// The weight-gradient GEMM must agree with a loop of per-node outer products
+// (the per-sample backward it replaces).
+func TestMatMulTransAIntoMatchesAddOuter(t *testing.T) {
+	rng := benchRng()
+	const nodes, dh, in = 11, 6, 14
+	dG := randMat(rng, nodes, dh)
+	z := randMat(rng, nodes, in)
+	got := NewMat(dh, in)
+	want := NewMat(dh, in)
+	for j := 0; j < nodes; j++ {
+		AddOuter(want, dG.Row(j), z.Row(j))
+	}
+	MatMulTransAInto(got, dG, z)
+	for i := range got.Data {
+		if math.Abs(got.Data[i]-want.Data[i]) > 1e-10 {
+			t.Fatalf("got[%d] = %g, want %g", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+func TestAddColumnSums(t *testing.T) {
+	rng := benchRng()
+	m := randMat(rng, 9, 5)
+	dst := randVec(rng, 5)
+	want := append(Vec(nil), dst...)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			want[j] += m.At(i, j)
+		}
+	}
+	AddColumnSums(dst, m)
+	for j := range dst {
+		if math.Abs(dst[j]-want[j]) > 1e-12 {
+			t.Fatalf("dst[%d] = %g, want %g", j, dst[j], want[j])
+		}
+	}
+}
+
+func BenchmarkAddMatMulInto(b *testing.B) {
+	rng := benchRng()
+	a := randMat(rng, 64, 96)
+	bm := randMat(rng, 96, 48)
+	dst := NewMat(64, 48)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AddMatMulInto(dst, a, bm)
+	}
+}
+
+func BenchmarkMatMulTransAInto(b *testing.B) {
+	rng := benchRng()
+	a := randMat(rng, 96, 64)
+	bm := randMat(rng, 96, 48)
+	dst := NewMat(64, 48)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulTransAInto(dst, a, bm)
+	}
+}
