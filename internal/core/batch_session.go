@@ -37,6 +37,10 @@ type BatchSession struct {
 	// Cached model dimensions.
 	de, dh, eh, epd, atomDim int
 
+	// poolGen is the snapshot generation stamped on memory-pool traffic
+	// (see InferenceSession.poolGen); zero for standalone sessions.
+	poolGen uint64
+
 	workers int
 	train   bool
 
@@ -120,6 +124,19 @@ func NewBatchSession(m *Model) *BatchSession {
 	}
 	s.bindKernels()
 	return s
+}
+
+// Rebind points the session at a different model sharing the original's
+// configuration and encoder — a hot-swapped snapshot. Arenas are sized by
+// the configuration alone and the prebound kernels read s.m per call, so
+// the rebind is one pointer store; it panics if the models are not
+// interchangeable. The caller owns concurrency: a session must not be
+// rebound while it is evaluating.
+func (s *BatchSession) Rebind(m *Model) {
+	if m.Cfg != s.m.Cfg || m.Enc != s.m.Enc {
+		panic("core: Rebind across different model configurations")
+	}
+	s.m = m
 }
 
 // EstimateBatch evaluates many plans with the width-first batching of
@@ -322,7 +339,7 @@ func (s *BatchSession) markCardPath(pi int, ep *feature.EncodedPlan, idx int) bo
 func (s *BatchSession) placeNode(pi int, ep *feature.EncodedPlan, idx int, pool *MemoryPool) int {
 	node := &ep.Nodes[idx]
 	id := s.offsets[pi] + idx
-	if g, r, ok := pool.Get(node.Sig); ok {
+	if g, r, ok := pool.GetGen(node.Sig, s.poolGen); ok {
 		usable := true
 		if s.cardPath[id] && idx != ep.CardNode {
 			// The plan's cardinality node sits strictly inside this pooled
@@ -331,7 +348,7 @@ func (s *BatchSession) placeNode(pi int, ep *feature.EncodedPlan, idx int, pool 
 			// otherwise fall through and recompute the subtree, exactly
 			// like the single-plan path.
 			cid := s.offsets[pi] + ep.CardNode
-			if cg, cr, cok := pool.Get(ep.Nodes[ep.CardNode].Sig); cok {
+			if cg, cr, cok := pool.GetGen(ep.Nodes[ep.CardNode].Sig, s.poolGen); cok {
 				copy(s.gOf(cid), cg)
 				copy(s.rOf(cid), cr)
 			} else {
@@ -364,7 +381,7 @@ func (s *BatchSession) placeNode(pi int, ep *feature.EncodedPlan, idx int, pool 
 func (s *BatchSession) insertAll(pool *MemoryPool) {
 	for _, it := range s.all {
 		id := s.offsets[it.plan] + int(it.node)
-		pool.Put(s.eps[it.plan].Nodes[it.node].Sig, s.gOf(id), s.rOf(id))
+		pool.PutGen(s.eps[it.plan].Nodes[it.node].Sig, s.gOf(id), s.rOf(id), s.poolGen)
 	}
 }
 
@@ -561,12 +578,12 @@ func predHeightsInto(ep *feature.EncodedPred, i int, hs []int) int {
 // loop context from session fields (lvi/plvi and the per-level matrices) so
 // steady-state calls never materialize new closures.
 func (s *BatchSession) bindKernels() {
-	m := s.m
-
+	// Kernels resolve s.m on every call (not a captured copy) so Rebind can
+	// hot-swap the model without re-binding closures.
 	s.fnEmbed = func(k int) {
 		it := s.all[k]
 		node := &s.eps[it.plan].Nodes[it.node]
-		m.embedSimple(node, s.eOf(s.offsets[it.plan]+int(it.node)))
+		s.m.embedSimple(node, s.eOf(s.offsets[it.plan]+int(it.node)))
 	}
 
 	s.fnPredRoot = func(k int) {
@@ -574,6 +591,7 @@ func (s *BatchSession) bindKernels() {
 		if it.pidx != 0 {
 			return
 		}
+		m := s.m
 		predSegOff := m.eOp + m.eMeta + m.eBm
 		id := s.offsets[it.plan] + int(it.node)
 		copy(s.eOf(id)[predSegOff:predSegOff+s.epd], s.pOutOf(it.flat))
@@ -587,7 +605,7 @@ func (s *BatchSession) bindKernels() {
 	s.fnPredLeafScatter = func(j int) {
 		lv := s.byLevel[s.plvi]
 		n := len(lv)
-		b := m.predLeaf.B.Vec()
+		b := s.m.predLeaf.B.Vec()
 		dst := s.pOutOf(lv[j].flat)
 		for i := 0; i < s.epd; i++ {
 			dst[i] = s.pleafOut.Data[i*n+j] + b[i]
@@ -601,7 +619,7 @@ func (s *BatchSession) bindKernels() {
 		r := s.pOutOf(s.flatOf(it.plan, it.node, pn.Right))
 		dst := s.pOutOf(it.flat)
 		switch {
-		case m.Cfg.Pred == PredPoolMean:
+		case s.m.Cfg.Pred == PredPoolMean:
 			tensor.Mean(dst, l, r)
 		case pn.Bool == 0:
 			tensor.MinInto(dst, l, r)
@@ -754,7 +772,7 @@ func (s *BatchSession) bindKernels() {
 		it := lv[j]
 		r := s.rOf(s.offsets[it.plan] + int(it.node))
 		pre := &s.nnPre[s.lvi]
-		b := m.repNN.B.Vec()
+		b := s.m.repNN.B.Vec()
 		for i := 0; i < s.dh; i++ {
 			v := pre.Data[i*n+j] + b[i]
 			if v < 0 {
@@ -765,6 +783,7 @@ func (s *BatchSession) bindKernels() {
 	}
 
 	s.fnHeadFinish = func(j int) {
+		m := s.m
 		hb := m.costH.B.Vec()
 		row := s.hCost.Row(j)
 		for i, bi := range hb {

@@ -43,7 +43,10 @@ func TestBatchSessionReuseMatchesFresh(t *testing.T) {
 
 // TestBatchSessionMatchesSequential checks the session batch path against
 // the single-plan path for every architecture variant (the session is the
-// engine behind Model.EstimateBatch, but assert it directly too).
+// engine behind Model.EstimateBatch, but assert it directly too). The match
+// is bit-exact: every tensor kernel accumulates each output element in
+// dotKernel's canonical sequential order, so batching must not perturb even
+// the last bit — the invariant the hot-swap serving tests build on.
 func TestBatchSessionMatchesSequential(t *testing.T) {
 	eps := benchCorpus(t, 20)
 	for _, variant := range sessionVariants {
@@ -55,8 +58,7 @@ func TestBatchSessionMatchesSequential(t *testing.T) {
 			batch := sess.EstimateBatch(eps, workers)
 			for i, ep := range eps {
 				cost, card := m.Estimate(ep)
-				if math.Abs(batch[i].Cost-cost) > 1e-9*math.Max(1, cost) ||
-					math.Abs(batch[i].Card-card) > 1e-9*math.Max(1, card) {
+				if batch[i].Cost != cost || batch[i].Card != card {
 					t.Fatalf("%s/workers=%d: batch[%d] = (%g,%g), sequential = (%g,%g)",
 						variant.name, workers, i, batch[i].Cost, batch[i].Card, cost, card)
 				}
@@ -98,8 +100,9 @@ func TestBatchSessionZeroAlloc(t *testing.T) {
 }
 
 // TestEstimateBatchWithPool checks the pooled batch path end to end: results
-// must match the unpooled batch both on a cold pool (all misses + inserts)
-// and a warm pool (subtree hits skip level rows).
+// must match the unpooled batch bit for bit, both on a cold pool (all misses
+// + inserts) and a warm pool (subtree hits skip level rows) — pooled
+// representations carry exactly the values recomputation would produce.
 func TestEstimateBatchWithPool(t *testing.T) {
 	eps := benchCorpus(t, 16)
 	for _, variant := range sessionVariants {
@@ -119,8 +122,7 @@ func TestEstimateBatchWithPool(t *testing.T) {
 		}
 		for i := range eps {
 			for name, got := range map[string]Estimate{"cold": cold[i], "warm": warm[i]} {
-				if math.Abs(got.Cost-want[i].Cost) > 1e-9*math.Max(1, want[i].Cost) ||
-					math.Abs(got.Card-want[i].Card) > 1e-9*math.Max(1, want[i].Card) {
+				if got != want[i] {
 					t.Fatalf("%s: %s pooled batch[%d] = %+v, want %+v", variant.name, name, i, got, want[i])
 				}
 			}
@@ -130,8 +132,7 @@ func TestEstimateBatchWithPool(t *testing.T) {
 		sess := NewSession(m)
 		for i, ep := range eps {
 			c, d := sess.EstimateWithPool(ep, pool)
-			if math.Abs(warm[i].Cost-c) > 1e-9*math.Max(1, c) ||
-				math.Abs(warm[i].Card-d) > 1e-9*math.Max(1, d) {
+			if warm[i].Cost != c || warm[i].Card != d {
 				t.Fatalf("%s: pooled batch[%d] = %+v, single-plan pooled = (%g,%g)",
 					variant.name, i, warm[i], c, d)
 			}
@@ -164,10 +165,10 @@ func TestEstimateBatchWithPoolEvictedCardNode(t *testing.T) {
 		pool := NewMemoryPool()
 		pool.Put(ep.Nodes[ep.Root].Sig, g, r)
 		got := m.EstimateBatchWithPool(eps[i:i+1], pool, 1)
-		// Recomputing the card subtree regroups its GEMM levels, so compare
-		// within reassociation tolerance rather than bit-exactly.
-		if math.Abs(got[0].Cost-want[i].Cost) > 1e-9*math.Max(1, want[i].Cost) ||
-			math.Abs(got[0].Card-want[i].Card) > 1e-9*math.Max(1, want[i].Card) {
+		// Recomputing the card subtree regroups its GEMM levels, but the
+		// canonical kernel order makes level grouping irrelevant to the
+		// result: compare bit-exactly.
+		if got[0] != want[i] {
 			t.Fatalf("evicted card node degraded batch estimate: %+v vs %+v", got[0], want[i])
 		}
 		tested++

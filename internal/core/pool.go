@@ -19,9 +19,25 @@ const poolShardCount = 32
 // The map is sharded by signature hash and the hit/miss statistics are plain
 // atomics, so the read path takes only one shard's RLock — concurrent
 // optimizer threads probing the pool never serialize on a single mutex.
+//
+// Pooled representations are functions of the model weights, so a pool
+// serving a hot-swappable model is generation-tagged: every entry records
+// the snapshot generation it was computed under (PutGen), lookups only
+// accept entries of the caller's generation (GetGen), and publishing new
+// weights advances the pool's generation (SetGeneration) — an O(1)
+// invalidation instead of a stop-the-world flush. Entries from superseded
+// generations are evicted lazily as lookups touch them. Standalone pools
+// never leave generation 0, where Get/Put behave exactly as before.
 type MemoryPool struct {
 	hits   atomic.Int64
 	misses atomic.Int64
+	// stale counts Get/GetGen calls that found an entry whose generation did
+	// not match the caller's (a subset of misses).
+	stale atomic.Int64
+	// gen is the pool's current generation: the snapshot version whose
+	// representations the pool considers live. Entries below it are evicted
+	// lazily on lookup.
+	gen atomic.Uint64
 	// maxPerShard bounds each shard's entry count (0 = unbounded), keeping a
 	// long-lived serving process from growing without limit.
 	maxPerShard int
@@ -40,6 +56,12 @@ type poolShard struct {
 type poolEntry struct {
 	sig  string
 	g, r []float64
+	// gen is the snapshot generation the representation was computed under.
+	gen uint64
+	// dead marks an entry lazily evicted for generation staleness: it has
+	// left the map but still occupies a ring slot, which the next clock
+	// sweep reclaims first. Guarded by the shard write lock.
+	dead bool
 	// ref is the second-chance bit: set on every Get (an atomic, so the read
 	// path stays under the shard RLock), cleared by the clock sweep.
 	ref atomic.Bool
@@ -57,7 +79,8 @@ func NewMemoryPool() *MemoryPool {
 // clock sweep evicts the first entry it finds unreferenced, clearing marks
 // as it passes. Hot sub-plan signatures (the optimizer re-probing common
 // join prefixes) therefore survive a stream of one-off insertions, which
-// arbitrary-victim eviction could not guarantee.
+// arbitrary-victim eviction could not guarantee. Entries already evicted for
+// generation staleness are reclaimed by the sweep before anything live.
 func NewBoundedMemoryPool(maxEntries int) *MemoryPool {
 	p := &MemoryPool{}
 	if maxEntries > 0 {
@@ -80,14 +103,43 @@ func (p *MemoryPool) shardFor(sig string) *poolShard {
 	return &p.shards[maphash.String(poolHashSeed, sig)&(poolShardCount-1)]
 }
 
-// Get returns the stored representation for a sub-plan signature, marking
-// the entry referenced for the second-chance eviction sweep.
+// Generation returns the pool's current generation.
+func (p *MemoryPool) Generation() uint64 { return p.gen.Load() }
+
+// SetGeneration advances the pool to generation gen, logically invalidating
+// every entry recorded under an earlier generation in O(1): lookups stop
+// accepting them immediately and they are physically evicted as later
+// lookups touch them. Generations are monotonic — a lower or equal gen is a
+// no-op — so concurrent publishers cannot move the pool backwards.
+func (p *MemoryPool) SetGeneration(gen uint64) {
+	for {
+		cur := p.gen.Load()
+		if gen <= cur || p.gen.CompareAndSwap(cur, gen) {
+			return
+		}
+	}
+}
+
+// Get returns the stored representation for a sub-plan signature at the
+// pool's current generation, marking the entry referenced for the
+// second-chance eviction sweep.
 func (p *MemoryPool) Get(sig string) (g, r []float64, ok bool) {
+	return p.GetGen(sig, p.gen.Load())
+}
+
+// GetGen is Get pinned to the caller's snapshot generation: it returns a
+// representation only if the entry was recorded under exactly gen, so a
+// request serving snapshot N can never consume weights-dependent state from
+// snapshot N±1, even while a publish is in flight. An entry found under a
+// generation older than the pool's current one is lazily evicted.
+func (p *MemoryPool) GetGen(sig string, gen uint64) (g, r []float64, ok bool) {
 	s := p.shardFor(sig)
 	s.mu.RLock()
 	e, found := s.m[sig]
+	var egen uint64
 	if found {
 		g, r = e.g, e.r
+		egen = e.gen
 		e.ref.Store(true)
 	}
 	s.mu.RUnlock()
@@ -95,17 +147,45 @@ func (p *MemoryPool) Get(sig string) (g, r []float64, ok bool) {
 		p.misses.Add(1)
 		return nil, nil, false
 	}
+	if egen != gen {
+		p.stale.Add(1)
+		p.misses.Add(1)
+		if egen < p.gen.Load() {
+			// The entry belongs to a superseded generation: evict it now
+			// rather than letting dead weight crowd the shard. Re-check under
+			// the write lock — a concurrent PutGen may have refreshed it.
+			s.mu.Lock()
+			if cur, resident := s.m[sig]; resident && cur == e && e.gen < p.gen.Load() {
+				delete(s.m, sig)
+				e.dead = true
+				e.ref.Store(false)
+			}
+			s.mu.Unlock()
+		}
+		return nil, nil, false
+	}
 	p.hits.Add(1)
 	return g, r, true
 }
 
-// Put stores a representation (copied) under the signature. When a bounded
-// shard is full, the clock hand sweeps the shard's ring: entries referenced
-// since the last pass get a second chance (their bit is cleared), and the
-// first unreferenced entry is evicted, its ring slot reused for the new
-// entry. The sweep terminates within two passes — the first pass can clear
-// every bit, the second must find a victim.
+// Put stores a representation (copied) under the signature at the pool's
+// current generation.
 func (p *MemoryPool) Put(sig string, g, r []float64) {
+	p.PutGen(sig, g, r, p.gen.Load())
+}
+
+// PutGen is Put tagged with the snapshot generation the representation was
+// computed under — the caller's generation, not the pool's, so a request
+// that resolved its snapshot before a publish records its entries honestly
+// and they are rejected (not served) by readers of the new generation.
+//
+// When a bounded shard is full, the clock hand sweeps the shard's ring:
+// slots holding generation-evicted (dead) entries are reclaimed first,
+// entries referenced since the last pass get a second chance (their bit is
+// cleared), and otherwise the first unreferenced entry is evicted, its ring
+// slot reused for the new entry. The sweep terminates within two passes —
+// the first pass can clear every bit, the second must find a victim.
+func (p *MemoryPool) PutGen(sig string, g, r []float64, gen uint64) {
 	gc := make([]float64, len(g))
 	rc := make([]float64, len(r))
 	copy(gc, g)
@@ -116,19 +196,22 @@ func (p *MemoryPool) Put(sig string, g, r []float64) {
 		// Refresh in place; readers that already fetched the old slices keep
 		// them (Put copies, entries never mutate a published slice).
 		e.g, e.r = gc, rc
+		e.gen = gen
 		s.mu.Unlock()
 		return
 	}
-	e := &poolEntry{sig: sig, g: gc, r: rc}
+	e := &poolEntry{sig: sig, g: gc, r: rc, gen: gen}
 	if p.maxPerShard > 0 {
 		if len(s.ring) >= p.maxPerShard {
 			for {
 				v := s.ring[s.hand]
-				if v.ref.CompareAndSwap(true, false) {
-					s.hand = (s.hand + 1) % len(s.ring)
-					continue
+				if !v.dead {
+					if v.ref.CompareAndSwap(true, false) {
+						s.hand = (s.hand + 1) % len(s.ring)
+						continue
+					}
+					delete(s.m, v.sig)
 				}
-				delete(s.m, v.sig)
 				s.ring[s.hand] = e
 				s.hand = (s.hand + 1) % len(s.ring)
 				break
@@ -163,11 +246,23 @@ func (p *MemoryPool) HitRate() float64 {
 	return float64(hits) / float64(total)
 }
 
+// StaleRate returns the fraction of lookups that found an entry of the
+// wrong generation — the transient cost of a hot swap, decaying to zero as
+// the new generation repopulates the pool.
+func (p *MemoryPool) StaleRate() float64 {
+	total := p.hits.Load() + p.misses.Load()
+	if total == 0 {
+		return 0
+	}
+	return float64(p.stale.Load()) / float64(total)
+}
+
 // Reset clears contents and counters. All shard locks are held for the
 // clear, so it is a point-in-time barrier like the seed's single-mutex
 // Reset: no Put that completed before Reset returns survives it. (Hit/miss
 // counters are updated outside the locks, so a Get racing Reset may count
-// against the fresh statistics; that skew is cosmetic.)
+// against the fresh statistics; that skew is cosmetic.) The generation is
+// preserved — it tracks the served weights, not the pool contents.
 func (p *MemoryPool) Reset() {
 	for i := range p.shards {
 		p.shards[i].mu.Lock()
@@ -179,6 +274,7 @@ func (p *MemoryPool) Reset() {
 	}
 	p.hits.Store(0)
 	p.misses.Store(0)
+	p.stale.Store(0)
 	for i := range p.shards {
 		p.shards[i].mu.Unlock()
 	}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"costest/internal/feature"
+)
+
+// Server is the hot-swap serving runtime: it binds the inference sessions,
+// batch sessions and the representation memory pool to the current
+// ModelSnapshot, re-resolving the snapshot pointer on every request. A
+// long-lived optimizer process keeps one Server; a Trainer retrains the
+// live model in place and calls Publish between epochs, while concurrent
+// Estimate/EstimateBatch callers keep serving — requests in flight finish
+// on the snapshot they started with, later requests pick up the new one,
+// and no request ever observes torn weights.
+//
+// The memory pool is generation-tagged with the snapshot version, so a
+// publish invalidates every pooled representation in O(1) (SetGeneration)
+// instead of flushing the pool: entries from the old generation are
+// rejected by new-generation lookups and evicted lazily.
+//
+// Sessions are recycled through internal sync.Pools and lazily rebound to
+// the current snapshot on checkout, so steady-state Estimate does the same
+// zero-allocation work as a session held directly against a fixed model.
+// EstimateBatch allocates only its result slice (the session-owned slab
+// cannot outlive the checkout), len(eps) Estimates per call.
+type Server struct {
+	cur  atomic.Pointer[ModelSnapshot]
+	pool *MemoryPool
+
+	// pubMu serializes publishers; readers are lock-free.
+	pubMu sync.Mutex
+
+	sessions      sync.Pool
+	batchSessions sync.Pool
+}
+
+// NewServer returns a server whose initial snapshot (version 1) copies m's
+// current weights. The pool may be nil to serve without representation
+// caching; a non-nil pool is owned by the server from here on — its
+// generation tracks the published version.
+func NewServer(m *Model, pool *MemoryPool) *Server {
+	srv := &Server{pool: pool}
+	snap := newSnapshot(m, 1)
+	srv.cur.Store(snap)
+	if pool != nil {
+		pool.SetGeneration(snap.version)
+	}
+	return srv
+}
+
+// Snapshot returns the currently served snapshot. Callers may hold it
+// indefinitely (for replay, validation, or shadow scoring); it never
+// changes under them.
+func (srv *Server) Snapshot() *ModelSnapshot { return srv.cur.Load() }
+
+// Version returns the currently served snapshot version.
+func (srv *Server) Version() uint64 { return srv.cur.Load().version }
+
+// Pool returns the server's memory pool (nil when serving uncached).
+func (srv *Server) Pool() *MemoryPool { return srv.pool }
+
+// Publish atomically installs a copy of m's current weights as the next
+// snapshot and advances the pool generation, logically invalidating every
+// pooled representation computed under older weights. It returns the new
+// snapshot. The weight copy reads m on the calling goroutine: call from
+// the goroutine that trains m (between optimizer steps), or with training
+// otherwise quiesced. Concurrent serving needs no quiescing — that is the
+// point.
+func (srv *Server) Publish(m *Model) *ModelSnapshot {
+	srv.pubMu.Lock()
+	snap := newSnapshot(m, srv.cur.Load().version+1)
+	srv.cur.Store(snap)
+	srv.pubMu.Unlock()
+	if srv.pool != nil {
+		srv.pool.SetGeneration(snap.version)
+	}
+	return snap
+}
+
+// Estimate serves one plan against the current snapshot through the
+// server's pool, returning denormalized cost/cardinality estimates and the
+// snapshot version that produced them. The estimate is bit-identical to a
+// single-threaded evaluation of that version's weights.
+func (srv *Server) Estimate(ep *feature.EncodedPlan) (cost, card float64, version uint64) {
+	snap := srv.cur.Load()
+	s := srv.session(snap)
+	cost, card = s.EstimateWithPool(ep, srv.pool)
+	srv.sessions.Put(s)
+	return cost, card, snap.version
+}
+
+// EstimateBatch serves a batch of plans against the current snapshot
+// through the server's pool (see Model.EstimateBatch for the level-batched
+// algorithm and the meaning of workers), returning one estimate per plan
+// and the snapshot version that produced them. The whole batch is served
+// by a single snapshot resolution, so every returned estimate belongs to
+// the same version.
+func (srv *Server) EstimateBatch(eps []*feature.EncodedPlan, workers int) ([]Estimate, uint64) {
+	snap := srv.cur.Load()
+	if len(eps) == 0 {
+		return nil, snap.version
+	}
+	s := srv.batchSession(snap)
+	out := make([]Estimate, len(eps))
+	copy(out, s.EstimateBatchWithPool(eps, srv.pool, workers))
+	s.releasePlans()
+	srv.batchSessions.Put(s)
+	return out, snap.version
+}
+
+// session checks a recycled inference session out of the pool, rebinding
+// it to snap when it last served a different version (one pointer store;
+// the warm arenas carry over because all snapshots share a configuration).
+func (srv *Server) session(snap *ModelSnapshot) *InferenceSession {
+	if v := srv.sessions.Get(); v != nil {
+		s := v.(*InferenceSession)
+		if s.poolGen != snap.version {
+			s.Rebind(snap.model)
+			s.poolGen = snap.version
+		}
+		return s
+	}
+	s := NewSession(snap.model)
+	s.poolGen = snap.version
+	return s
+}
+
+// batchSession is session for the batch path.
+func (srv *Server) batchSession(snap *ModelSnapshot) *BatchSession {
+	if v := srv.batchSessions.Get(); v != nil {
+		s := v.(*BatchSession)
+		if s.poolGen != snap.version {
+			s.Rebind(snap.model)
+			s.poolGen = snap.version
+		}
+		return s
+	}
+	s := NewBatchSession(snap.model)
+	s.poolGen = snap.version
+	return s
+}

@@ -1,0 +1,373 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestSnapshotImmutableUnderTraining pins the copy-on-publish contract: a
+// snapshot taken before further training must keep serving the exact weights
+// it was published with, bit for bit, no matter how the live model moves.
+func TestSnapshotImmutableUnderTraining(t *testing.T) {
+	eps := benchCorpus(t, 12)
+	cfg := TestConfig()
+	m := New(cfg, testEnc)
+	tr := NewTrainer(m)
+	tr.FitNormalizers(eps)
+	srv := NewServer(m, nil)
+
+	snap := srv.Snapshot()
+	if snap.Version() != 1 {
+		t.Fatalf("initial snapshot version = %d, want 1", snap.Version())
+	}
+	type est struct{ cost, card float64 }
+	before := make([]est, len(eps))
+	for i, ep := range eps {
+		c, d := snap.Model().Estimate(ep)
+		before[i] = est{c, d}
+	}
+
+	tr.TrainEpochBatched(eps, 8, 1)
+
+	for i, ep := range eps {
+		c, d := snap.Model().Estimate(ep)
+		if c != before[i].cost || d != before[i].card {
+			t.Fatalf("snapshot estimate moved after training: plan %d (%g,%g) -> (%g,%g)",
+				i, before[i].cost, before[i].card, c, d)
+		}
+	}
+	liveMoved := false
+	for i, ep := range eps {
+		if c, d := m.Estimate(ep); c != before[i].cost || d != before[i].card {
+			liveMoved = true
+			break
+		}
+	}
+	if !liveMoved {
+		t.Fatal("live model did not move after a training epoch; test is vacuous")
+	}
+
+	next := tr.Publish(srv)
+	if next.Version() != 2 || srv.Version() != 2 {
+		t.Fatalf("publish version = %d (server %d), want 2", next.Version(), srv.Version())
+	}
+	if srv.Snapshot() != next {
+		t.Fatal("server does not serve the published snapshot")
+	}
+}
+
+// TestPoolGenerations pins the pool's generation contract directly: entries
+// are only served to callers of the generation that recorded them, advancing
+// the generation invalidates older entries in O(1), and stale entries are
+// lazily evicted (freeing their map slot and, in bounded pools, their ring
+// slot) as lookups touch them.
+func TestPoolGenerations(t *testing.T) {
+	g := []float64{1, 2}
+	r := []float64{3, 4}
+
+	p := NewMemoryPool()
+	p.PutGen("sig", g, r, 1)
+	if _, _, ok := p.GetGen("sig", 1); !ok {
+		t.Fatal("same-generation lookup missed")
+	}
+	// A caller pinned to a different generation must never see the entry —
+	// in either direction (old entry/new caller, new entry/old caller).
+	if _, _, ok := p.GetGen("sig", 2); ok {
+		t.Fatal("generation-1 entry served to a generation-2 caller")
+	}
+	p.PutGen("sig2", g, r, 2)
+	if _, _, ok := p.GetGen("sig2", 1); ok {
+		t.Fatal("generation-2 entry served to a generation-1 caller")
+	}
+	if p.StaleRate() == 0 {
+		t.Fatal("generation mismatches not counted as stale")
+	}
+
+	// Advancing the pool generation lazily evicts superseded entries.
+	p.SetGeneration(2)
+	if p.Generation() != 2 {
+		t.Fatalf("generation = %d, want 2", p.Generation())
+	}
+	p.SetGeneration(1) // monotonic: must not move backwards
+	if p.Generation() != 2 {
+		t.Fatalf("generation moved backwards to %d", p.Generation())
+	}
+	before := p.Len()
+	if _, _, ok := p.Get("sig"); ok { // current-generation lookup
+		t.Fatal("stale entry served after SetGeneration")
+	}
+	if p.Len() != before-1 {
+		t.Fatalf("stale entry not evicted: Len %d -> %d", before, p.Len())
+	}
+	// Re-inserting under the current generation serves again.
+	p.Put("sig", g, r)
+	if _, _, ok := p.Get("sig"); !ok {
+		t.Fatal("refreshed entry missed at current generation")
+	}
+
+	// Bounded pools must reclaim the ring slots of generation-evicted
+	// entries: fill a pool across a generation swap, touch everything (lazy
+	// eviction), then refill under the new generation. Each fresh insert
+	// must be immediately retrievable (its ring slot comes from a dead
+	// entry, not past the bound) and residency must respect the bound.
+	// Shard assignment is hash-seeded per process, so assertions avoid
+	// assuming which signatures share a shard.
+	bp := NewBoundedMemoryPool(poolShardCount) // 1 entry per shard
+	sigs := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	for _, s := range sigs {
+		bp.PutGen(s, g, r, 1)
+	}
+	bp.SetGeneration(2)
+	for _, s := range sigs {
+		bp.GetGen(s, 2) // touch: lazily evicts every generation-1 entry
+	}
+	if n := bp.Len(); n != 0 {
+		t.Fatalf("bounded pool kept %d stale entries after touches", n)
+	}
+	for _, s := range sigs {
+		bp.PutGen(s, g, r, 2)
+		if _, _, ok := bp.GetGen(s, 2); !ok {
+			t.Fatalf("entry %q missing immediately after ring-slot reuse", s)
+		}
+	}
+	if n := bp.Len(); n == 0 || n > len(sigs) {
+		t.Fatalf("bounded pool resident count %d after refill, want 1..%d", n, len(sigs))
+	}
+}
+
+// TestServerServesAcrossPublishes drives the sequential hot-swap workflow:
+// serve, retrain, publish, serve again — every response must carry the
+// version that produced it and match that version's snapshot bit for bit,
+// through both the single-plan and batch paths, with pooled entries never
+// crossing the swap.
+func TestServerServesAcrossPublishes(t *testing.T) {
+	eps := benchCorpus(t, 12)
+	cfg := TestConfig()
+	m := New(cfg, testEnc)
+	tr := NewTrainer(m)
+	tr.FitNormalizers(eps)
+	srv := NewServer(m, NewBoundedMemoryPool(512))
+
+	for round := 0; round < 3; round++ {
+		snap := srv.Snapshot()
+		want := uint64(round + 1)
+		if snap.Version() != want {
+			t.Fatalf("round %d: serving version %d, want %d", round, snap.Version(), want)
+		}
+		ref := NewSession(snap.Model())
+		for i, ep := range eps {
+			c, d, v := srv.Estimate(ep)
+			if v != want {
+				t.Fatalf("round %d: Estimate served version %d", round, v)
+			}
+			rc, rd := ref.Estimate(ep)
+			if c != rc || d != rd {
+				t.Fatalf("round %d plan %d: served (%g,%g), snapshot replay (%g,%g)", round, i, c, d, rc, rd)
+			}
+		}
+		batch, v := srv.EstimateBatch(eps, 2)
+		if v != want {
+			t.Fatalf("round %d: EstimateBatch served version %d", round, v)
+		}
+		for i, ep := range eps {
+			rc, rd := ref.Estimate(ep)
+			if batch[i].Cost != rc || batch[i].Card != rd {
+				t.Fatalf("round %d plan %d: batch served %+v, snapshot replay (%g,%g)", round, i, batch[i], rc, rd)
+			}
+		}
+		tr.TrainEpochBatched(eps, 8, 1)
+		tr.Publish(srv)
+	}
+	if srv.Pool().HitRate() == 0 {
+		t.Fatal("pooled serving produced no hits within a generation")
+	}
+	if srv.Pool().StaleRate() == 0 {
+		t.Fatal("hot swaps produced no stale lookups; invalidation untested")
+	}
+}
+
+// servedObs is one served estimate with the snapshot version that produced
+// it, for post-hoc replay.
+type servedObs struct {
+	plan    int
+	version uint64
+	cost    float64
+	card    float64
+}
+
+// TestServerHotSwapConcurrentBitIdentical is the acceptance gate for the
+// hot-swap runtime, meant to run under -race: one goroutine retrains the
+// live model with the batched runtime and publishes after every epoch while
+// serving goroutines hammer the server's pooled single-plan and batch paths.
+// Every served estimate is then replayed single-threaded against the
+// snapshot version that served it and must match bit for bit — which fails
+// if a publish ever tears weights mid-request, and fails if any pool entry
+// recorded under generation N is consumed by a request serving generation
+// N±1 (representations are weights-dependent, so cross-generation reuse
+// perturbs the bits).
+func TestServerHotSwapConcurrentBitIdentical(t *testing.T) {
+	eps := benchCorpus(t, 12)
+	cfg := TestConfig()
+	m := New(cfg, testEnc)
+	tr := NewTrainer(m)
+	tr.FitNormalizers(eps)
+	srv := NewServer(m, NewBoundedMemoryPool(256))
+
+	const epochs = 4
+	const servers = 3
+
+	var mu sync.Mutex
+	snaps := map[uint64]*ModelSnapshot{1: srv.Snapshot()}
+
+	// seen[w] is the highest version server w has served. The trainer waits
+	// for every server to reach each published version before training on —
+	// on a single-core box the scheduler could otherwise run one side to
+	// completion, leaving the interleavings untested.
+	var seen [servers]atomic.Uint64
+	done := make(chan struct{})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // trainer: retrain in place, publish after every epoch
+		defer wg.Done()
+		defer close(done)
+		for e := 0; e < epochs; e++ {
+			tr.TrainEpochBatched(eps, 8, 2)
+			snap := tr.Publish(srv)
+			mu.Lock()
+			snaps[snap.Version()] = snap
+			mu.Unlock()
+			for w := 0; w < servers; w++ {
+				for seen[w].Load() < snap.Version() {
+					runtime.Gosched()
+				}
+			}
+		}
+	}()
+
+	obs := make([][]servedObs, servers)
+	for w := 0; w < servers; w++ {
+		wg.Add(1)
+		go func(w int) { // server: pooled single-plan + batch serving
+			defer wg.Done()
+			var local []servedObs
+			for k := 0; ; k++ {
+				i := (w*7 + k) % len(eps)
+				c, d, v := srv.Estimate(eps[i])
+				local = append(local, servedObs{plan: i, version: v, cost: c, card: d})
+				ests, bv := srv.EstimateBatch(eps, 2)
+				for j, e := range ests {
+					local = append(local, servedObs{plan: j, version: bv, cost: e.Cost, card: e.Card})
+				}
+				if bv > seen[w].Load() {
+					seen[w].Store(bv)
+				}
+				select {
+				case <-done:
+					obs[w] = local
+					return
+				default:
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Replay: for every version that served, compute the single-threaded,
+	// unpooled reference estimates from the retained snapshot.
+	type est struct{ cost, card float64 }
+	refs := make(map[uint64][]est, len(snaps))
+	for v, snap := range snaps {
+		ref := NewSession(snap.Model())
+		es := make([]est, len(eps))
+		for i, ep := range eps {
+			c, d := ref.Estimate(ep)
+			es[i] = est{c, d}
+		}
+		refs[v] = es
+	}
+
+	served := 0
+	versions := map[uint64]int{}
+	for w := range obs {
+		for _, o := range obs[w] {
+			ref, known := refs[o.version]
+			if !known {
+				t.Fatalf("served version %d was never published", o.version)
+			}
+			if o.cost != ref[o.plan].cost || o.card != ref[o.plan].card {
+				t.Fatalf("version %d plan %d: served (%g,%g), single-threaded replay (%g,%g)",
+					o.version, o.plan, o.cost, o.card, ref[o.plan].cost, ref[o.plan].card)
+			}
+			served++
+			versions[o.version]++
+		}
+	}
+	if served == 0 {
+		t.Fatal("no estimates served")
+	}
+	if len(versions) != epochs+1 {
+		t.Fatalf("served %d distinct versions, want %d (all published snapshots)", len(versions), epochs+1)
+	}
+	t.Logf("replayed %d served estimates across %d versions (per-version counts: %v); pool hit %.0f%%, stale %.1f%%",
+		served, len(versions), versions, srv.Pool().HitRate()*100, srv.Pool().StaleRate()*100)
+}
+
+// BenchmarkPublish measures hot-swap publication latency: one deep weight
+// copy into a fresh snapshot plus the O(1) pool invalidation, at default
+// model dimensions.
+func BenchmarkPublish(b *testing.B) {
+	eps := benchCorpus(b, 4)
+	cfg := DefaultConfig()
+	m := New(cfg, testEnc)
+	tr := NewTrainer(m)
+	tr.FitNormalizers(eps)
+	srv := NewServer(m, NewBoundedMemoryPool(4096))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srv.Publish(m)
+	}
+}
+
+// BenchmarkServerEstimate measures steady-state pooled serving through the
+// Server indirection (snapshot resolution + session checkout + pooled
+// forward) — the hot-swap counterpart of BenchmarkForwardPooled.
+func BenchmarkServerEstimate(b *testing.B) {
+	eps := benchCorpus(b, 12)
+	cfg := TestConfig()
+	m := New(cfg, testEnc)
+	srv := NewServer(m, NewMemoryPool())
+	for _, ep := range eps {
+		srv.Estimate(ep)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srv.Estimate(eps[i%len(eps)])
+	}
+	b.ReportMetric(srv.Pool().HitRate()*100, "hit%")
+}
+
+// BenchmarkServerHotSwap measures serving with a publish every 64 batches:
+// the steady-state cost of living through weight swaps, including session
+// rebinds and the stale-lookup transient after each generation bump.
+func BenchmarkServerHotSwap(b *testing.B) {
+	eps := benchCorpus(b, 12)
+	cfg := TestConfig()
+	m := New(cfg, testEnc)
+	srv := NewServer(m, NewBoundedMemoryPool(512))
+	srv.EstimateBatch(eps, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%64 == 63 {
+			srv.Publish(m)
+		}
+		srv.EstimateBatch(eps, 1)
+	}
+	b.ReportMetric(srv.Pool().StaleRate()*100, "stale%")
+	b.ReportMetric(srv.Pool().HitRate()*100, "hit%")
+}

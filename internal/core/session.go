@@ -35,6 +35,13 @@ type InferenceSession struct {
 	// out1 is the shared 1-wide output buffer of the head sigmoid layers.
 	out1 []float64
 
+	// poolGen is the snapshot generation this session stamps on memory-pool
+	// traffic: GetGen only accepts entries recorded under the same
+	// generation and PutGen records it. Zero for standalone sessions
+	// (matching a fresh pool's generation); a Server sets it to the bound
+	// snapshot's version so pooled representations never cross a hot swap.
+	poolGen uint64
+
 	// grads is the training-only backward arena; hg the reusable per-node
 	// head-gradient buffer.
 	grads f64Arena
@@ -48,6 +55,19 @@ func NewSession(m *Model) *InferenceSession {
 	s := &InferenceSession{m: m, out1: make([]float64, 1)}
 	s.initSlot(&s.scratch)
 	return s
+}
+
+// Rebind points the session at a different model sharing the original's
+// configuration and encoder — a hot-swapped snapshot. Every buffer is sized
+// by the configuration alone, so the warm arenas carry over and the rebind
+// itself is one pointer store; it panics if the models are not
+// interchangeable. The caller owns concurrency: a session must not be
+// rebound while it is evaluating.
+func (s *InferenceSession) Rebind(m *Model) {
+	if m.Cfg != s.m.Cfg || m.Enc != s.m.Enc {
+		panic("core: Rebind across different model configurations")
+	}
+	s.m = m
 }
 
 // begin prepares the session for one plan evaluation.
@@ -125,7 +145,7 @@ func (s *InferenceSession) EstimateWithPool(ep *feature.EncodedPlan, pool *Memor
 		if cardNS == nil && pool != nil {
 			// The cardinality node was skipped because an enclosing sub-plan
 			// came from the pool; fetch its representation by signature.
-			if _, r, ok := pool.Get(ep.Nodes[ep.CardNode].Sig); ok {
+			if _, r, ok := pool.GetGen(ep.Nodes[ep.CardNode].Sig, s.poolGen); ok {
 				s.scratch.r = r
 				cardNS = &s.scratch
 			}

@@ -1,0 +1,51 @@
+package core
+
+import "fmt"
+
+// ModelSnapshot is an immutable, versioned copy of a model's weights and
+// target normalizers — the unit of publication for hot-swap serving. A
+// snapshot owns a private Model (its own ParamSet, deep-copied at
+// construction) that shares only the read-only feature encoder with the
+// source, so the trainer can keep mutating its live weights while every
+// goroutine holding the snapshot reads a frozen, torn-write-free view.
+//
+// Snapshots are created by Server.Publish (or NewServer) and must never be
+// mutated: the serving invariant — any estimate served at version V is
+// bit-identical to a single-threaded evaluation of V's weights — depends on
+// it.
+type ModelSnapshot struct {
+	version uint64
+	model   *Model
+}
+
+// newSnapshot deep-copies src's parameter values and normalizers into a
+// fresh model wired to the same encoder. The copy runs on the caller's
+// goroutine, so callers must not mutate src concurrently (the Trainer
+// publishes between epochs, where this holds by construction).
+func newSnapshot(src *Model, version uint64) *ModelSnapshot {
+	dst := New(src.Cfg, src.Enc)
+	sp, dp := src.PS.Params(), dst.PS.Params()
+	if len(sp) != len(dp) {
+		panic(fmt.Sprintf("core: snapshot parameter count mismatch: %d vs %d", len(sp), len(dp)))
+	}
+	for i := range sp {
+		if sp[i].Name != dp[i].Name {
+			panic(fmt.Sprintf("core: snapshot parameter order mismatch: %q vs %q", sp[i].Name, dp[i].Name))
+		}
+		copy(dp[i].Value, sp[i].Value)
+	}
+	dst.CostNorm, dst.CardNorm = src.CostNorm, src.CardNorm
+	return &ModelSnapshot{version: version, model: dst}
+}
+
+// Version returns the snapshot's publication version. Versions start at 1
+// (NewServer's initial snapshot) and increase by one per publish; they
+// double as the memory-pool generation for entries computed under this
+// snapshot.
+func (s *ModelSnapshot) Version() uint64 { return s.version }
+
+// Model returns the snapshot's frozen model. Callers may evaluate it (its
+// own Estimate/EstimateBatch, NewSession, ValidationError) but must treat
+// the weights as read-only; training against a snapshot model breaks the
+// immutability every concurrent reader relies on.
+func (s *ModelSnapshot) Model() *Model { return s.model }

@@ -131,6 +131,16 @@ func (t *Trainer) TrainEpochBatched(samples []*feature.EncodedPlan, batchSize, w
 	return total / float64(len(samples))
 }
 
+// Publish installs the trainer's current weights on srv as a new immutable
+// snapshot (see Server.Publish) — the retrain-in-place workflow: a
+// long-lived service keeps one Trainer mutating the live model and calls
+// Publish between epochs while the Server's Estimate/EstimateBatch callers
+// keep serving the previous snapshot untouched. Call from the training
+// goroutine so the weight copy never races an optimizer step.
+func (t *Trainer) Publish(srv *Server) *ModelSnapshot {
+	return srv.Publish(t.M)
+}
+
 // accumulate runs forward + backward for one sample, returning its loss.
 func (t *Trainer) accumulate(ep *feature.EncodedPlan) float64 {
 	t.sess.forwardTrain(ep)

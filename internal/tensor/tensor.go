@@ -77,7 +77,9 @@ func (m *Mat) KaimingInit(rng *rand.Rand) {
 // m.Cols; dst must not alias x.
 //
 // Rows are processed four at a time so each element of x is loaded once per
-// row quad, and the remainder rows fall back to the unrolled dot kernel.
+// row quad, with one sequential accumulator chain per row (dotKernel's
+// canonical order — remainder rows call it directly), so every output
+// element is bit-identical to a plain dotKernel over its row.
 func MatVec(dst Vec, m *Mat, x Vec) {
 	if len(dst) != m.Rows || len(x) != m.Cols {
 		panic(fmt.Sprintf("tensor: MatVec shape mismatch: m %dx%d, x %d, dst %d", m.Rows, m.Cols, len(x), len(dst)))
@@ -108,8 +110,10 @@ func MatVec(dst Vec, m *Mat, x Vec) {
 
 // MatVec4 computes dK = mK * x for four equally shaped matrices in one
 // interleaved pass: each element of x is loaded once per output row quad and
-// feeds four independent accumulator chains. This is the LSTM-style cell's
-// gate kernel — the four gate weight matrices share the input [R_{t-1}, x].
+// feeds four independent accumulator chains, each in dotKernel's canonical
+// sequential order so gate pre-activations match the batch path's GEMM
+// (gateRun) bit for bit. This is the LSTM-style cell's gate kernel — the
+// four gate weight matrices share the input [R_{t-1}, x].
 func MatVec4(d0, d1, d2, d3 Vec, m0, m1, m2, m3 *Mat, x Vec) {
 	rows, cols := m0.Rows, m0.Cols
 	if m1.Rows != rows || m2.Rows != rows || m3.Rows != rows ||
@@ -239,22 +243,29 @@ func Dot(a, b Vec) float64 {
 	return dotKernel(a, b)
 }
 
-// dotKernel is the 4-way unrolled inner product: four independent
-// accumulators break the add dependency chain so the FMA units stay busy.
+// dotKernel is the canonical inner product: one accumulator summed in
+// strictly ascending index order.
+//
+// Sequential order is the bit-level contract every forward-path kernel obeys
+// for each output element: MatVec's row quads, MatVec4's interleaved gates
+// and MatMulTransBInto's 2×2 register block all keep one sequential
+// accumulator chain per output (their instruction-level parallelism comes
+// from computing four outputs at once, not from splitting one sum), and
+// their remainder rows/columns call dotKernel directly. An output element
+// therefore depends only on its two operand vectors — never on which kernel
+// computed it, its position inside a level, or how a batch was composed.
+// That determinism is what lets the representation memory pool share
+// entries between the single-plan and batched paths, and what lets the
+// hot-swap serving tests replay any served estimate single-threaded and
+// compare bit for bit. Do not "optimize" this into multiple accumulator
+// chains without restructuring every blocked kernel to match.
 func dotKernel(a, b Vec) float64 {
 	b = b[:len(a)]
-	var s0, s1, s2, s3 float64
-	n := len(a) &^ 3
-	for i := 0; i < n; i += 4 {
-		s0 += a[i] * b[i]
-		s1 += a[i+1] * b[i+1]
-		s2 += a[i+2] * b[i+2]
-		s3 += a[i+3] * b[i+3]
+	var s float64
+	for i, av := range a {
+		s += av * b[i]
 	}
-	for i := n; i < len(a); i++ {
-		s0 += a[i] * b[i]
-	}
-	return (s0 + s1) + (s2 + s3)
+	return s
 }
 
 // axpyKernel computes y += alpha*x with a 4-way unrolled loop.
@@ -391,7 +402,11 @@ func MatMulTransBInto(dst, a, bt *Mat) {
 	k := a.Cols
 	n := bt.Rows
 	// 2×2 register blocking: each pass over k feeds four dot products, so
-	// every loaded element of a and bt is used twice.
+	// every loaded element of a and bt is used twice. Each of the four
+	// accumulators sums in dotKernel's canonical sequential order, so a
+	// blocked element is bit-identical to the remainder path's dotKernel —
+	// results never depend on where an element falls in the blocking or how
+	// large a level was.
 	i := 0
 	for ; i+2 <= a.Rows; i += 2 {
 		a0 := a.Data[i*k : i*k+k]

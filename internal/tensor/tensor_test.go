@@ -427,3 +427,53 @@ func BenchmarkMatMulTransAInto(b *testing.B) {
 		MatMulTransAInto(dst, a, bm)
 	}
 }
+
+// TestCanonicalDotOrder pins the bit-level contract the serving runtime
+// depends on: every forward kernel that emits a dot product — Dot, MatVec,
+// MatVec4 and MatMulTransBInto (both its 2×2-blocked interior and its
+// remainder rows/columns) — must produce bit-identical results for the same
+// operand vectors, across odd and even shapes. Representations stored in the
+// memory pool by one path and consumed by another, and the hot-swap test's
+// single-threaded replays, all assume this equality is exact, not
+// approximate.
+func TestCanonicalDotOrder(t *testing.T) {
+	rng := benchRng()
+	for _, shape := range []struct{ m, k, n int }{
+		{1, 1, 1}, {2, 2, 2}, {3, 5, 3}, {4, 7, 5}, {16, 48, 24}, {7, 33, 9}, {5, 8, 1},
+	} {
+		a := randMat(rng, shape.m, shape.k)
+		bt := randMat(rng, shape.n, shape.k)
+		gemm := NewMat(shape.m, shape.n)
+		MatMulTransBInto(gemm, a, bt)
+
+		mv := NewVec(shape.m)
+		for j := 0; j < shape.n; j++ {
+			x := bt.Row(j)
+			MatVec(mv, a, x)
+			for i := 0; i < shape.m; i++ {
+				want := Dot(a.Row(i), x)
+				if gemm.At(i, j) != want {
+					t.Fatalf("%dx%dx%d: MatMulTransBInto[%d,%d] = %v, Dot = %v",
+						shape.m, shape.k, shape.n, i, j, gemm.At(i, j), want)
+				}
+				if mv[i] != want {
+					t.Fatalf("%dx%dx%d: MatVec[%d] = %v, Dot = %v",
+						shape.m, shape.k, shape.n, i, mv[i], want)
+				}
+			}
+		}
+
+		d := [4]Vec{NewVec(shape.m), NewVec(shape.m), NewVec(shape.m), NewVec(shape.m)}
+		ms := [4]*Mat{a, randMat(rng, shape.m, shape.k), randMat(rng, shape.m, shape.k), randMat(rng, shape.m, shape.k)}
+		x := randVec(rng, shape.k)
+		MatVec4(d[0], d[1], d[2], d[3], ms[0], ms[1], ms[2], ms[3], x)
+		for g := range ms {
+			for i := 0; i < shape.m; i++ {
+				if want := Dot(ms[g].Row(i), x); d[g][i] != want {
+					t.Fatalf("%dx%d: MatVec4 gate %d row %d = %v, Dot = %v",
+						shape.m, shape.k, g, i, d[g][i], want)
+				}
+			}
+		}
+	}
+}

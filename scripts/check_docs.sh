@@ -1,0 +1,47 @@
+#!/bin/sh
+# Docs-consistency gate: fail when the navigational docs reference repo
+# paths that don't exist (stale file moves are how architecture docs rot).
+# Checks two reference forms in README.md / ARCHITECTURE.md / PERFORMANCE.md:
+#   - markdown links:  [text](path)        (http(s) and #anchors skipped)
+#   - backticked repo paths rooted at a top-level directory or a root file
+#     with an extension: `internal/core/pool.go`, `cmd/experiments`,
+#     `BENCH_INFERENCE.json`. Bare filename shorthand (`pool.go` inside a
+#     paragraph about internal/core) and non-path notation (`hash/maphash`,
+#     `dR/2`) are deliberately not checked.
+# Run from the repository root: scripts/check_docs.sh
+set -eu
+
+status=0
+for doc in README.md ARCHITECTURE.md PERFORMANCE.md; do
+    [ -f "$doc" ] || { echo "check_docs: missing $doc"; status=1; continue; }
+
+    refs=$(
+        grep -oE '\]\([^)]+\)' "$doc" | sed -E 's/^\]\(//; s/\)$//'
+        grep -oE '`[A-Za-z0-9_./-]+`' "$doc" | tr -d '`' |
+            grep -E '^(internal|cmd|examples|scripts|\.github)(/|$)|^[A-Za-z0-9_.-]+\.(md|json|sh|yml|mod)$' || true
+    )
+    for ref in $refs; do
+        case "$ref" in
+        http://* | https://* | \#*) continue ;;
+        esac
+        path=${ref%%#*} # strip anchors from links like FILE.md#section
+        # Strip trailing path globs/ellipses used in prose (cmd/, internal/...).
+        case "$path" in
+        */...) path=${path%/...} ;;
+        esac
+        case "$path" in
+        */) path=${path%/} ;;
+        esac
+        if [ ! -e "$path" ]; then
+            echo "$doc references missing path: $ref"
+            status=1
+        fi
+    done
+done
+
+if [ "$status" -ne 0 ]; then
+    echo "check_docs: FAILED — fix the stale references above"
+else
+    echo "check_docs: OK"
+fi
+exit $status
