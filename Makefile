@@ -27,11 +27,13 @@ test:
 check: build vet fmt-check test
 
 # Hot-path microbenchmarks: the per-plan forward runtime, the batch
-# serving/training runtime, the memory pool read path, the hot-swap serving
-# runtime, and the tensor kernels underneath them.
+# serving/training runtime (sequential TrainEpoch/TrainEpochBatched and the
+# data-parallel BenchmarkTrainEpochParallel shard variants), the memory pool
+# read path, the hot-swap serving runtime, and the tensor kernels underneath
+# them.
 bench:
 	$(GO) test ./internal/core/ -run xxx \
-		-bench 'BenchmarkForwardSingle|BenchmarkForwardPooled|BenchmarkPoolGetParallel|BenchmarkEstimateBatch|BenchmarkTrainEpoch|BenchmarkPublish|BenchmarkServer' \
+		-bench 'BenchmarkForwardSingle|BenchmarkForwardPooled|BenchmarkPoolGetParallel|BenchmarkEstimateBatch|BenchmarkTrainEpoch|BenchmarkTrainEpochParallel|BenchmarkPublish|BenchmarkServer' \
 		-benchmem -benchtime=1s
 	$(GO) test ./internal/tensor/ -run xxx -bench . -benchmem -benchtime=1s
 

@@ -55,6 +55,10 @@ func main() {
 	trainer := core.NewTrainer(model)
 	trainer.FitNormalizers(eps)
 	srv := core.NewServer(model, core.NewBoundedMemoryPool(4096))
+	// Pre-warming replays the hottest served plans through each newly
+	// published snapshot in the background, so the post-swap stale transient
+	// is paid off the request path.
+	srv.EnablePrewarm(16)
 	fmt.Printf("serving snapshot v%d (%d params)\n", srv.Version(), model.NumParams())
 
 	// 3. Serve and retrain concurrently. The trainer mutates the live model
@@ -100,6 +104,15 @@ func main() {
 	fmt.Printf("\nserved %d estimates across %d snapshots while retraining\n", served.Load(), srv.Version())
 	fmt.Printf("pool: %d entries resident, hit rate %.1f%%, stale rate %.1f%%\n",
 		pool.Len(), pool.HitRate()*100, pool.StaleRate()*100)
+
+	// Adaptive sizing: Advise inspects the windowed hit/stale rates and
+	// occupancy and recommends a bound; SetBound applies it live.
+	advice := pool.Advise()
+	fmt.Printf("pool advice: bound %d -> %d (%s)\n", advice.Bound, advice.Recommended, advice.Reason)
+	if advice.Recommended != advice.Bound {
+		pool.SetBound(advice.Recommended)
+		fmt.Printf("pool rebounded to %d entries\n", pool.Bound())
+	}
 
 	// 5. Snapshots are immutable: anyone still holding v-final can replay it
 	// forever, bit for bit, regardless of what training does next.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"runtime"
 	"sync"
 
 	"costest/internal/feature"
@@ -148,6 +149,19 @@ func biasReLU(dst []float64, l *nn.Linear) {
 }
 
 func sigmoidScalar(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// resolveWorkers maps the shared workers-knob convention onto a concrete
+// goroutine count: `workers <= 0` means one worker per available CPU
+// (runtime.GOMAXPROCS(0)). Every runtime entry point that takes a workers
+// parameter — EstimateBatch/EstimateBatchWithPool, Trainer.TrainEpochBatched
+// (via BatchSession.run) and the data-parallel trainer — resolves through
+// this one helper so the default cannot drift between paths.
+func resolveWorkers(workers int) int {
+	if workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
 
 // parallelFor runs f(0..n-1) across at most `workers` goroutines.
 func parallelFor(n, workers int, f func(int)) {

@@ -166,19 +166,8 @@ func (s *BatchSession) headBackOne(h, o *nn.Linear, H, dR *tensor.Mat) {
 	}
 	o.B.GradVec()[0] += bSum
 
-	wo := o.W.Mat().Data
-	parallelFor(total, s.workers, func(j int) {
-		row := s.dH.Row(j)
-		hrow := H.Row(j)
-		p := s.dPre[j]
-		for i := range row {
-			if hrow[i] > 0 {
-				row[i] = p * wo[i]
-			} else {
-				row[i] = 0
-			}
-		}
-	})
+	s.bwdH, s.bwdWo = H, o.W.Mat().Data
+	s.parRun(total, s.fnHeadBack)
 	tensor.MatMulTransAInto(h.W.GradMat(), &s.dH, &s.rView)
 	tensor.AddColumnSums(h.B.GradVec(), &s.dH)
 	tensor.AddMatMulInto(dR, &s.dH, h.W.Mat())
@@ -211,9 +200,11 @@ func cellGateGrads(dim, j, n int, dG, dR, tRow, gpRow []float64,
 // backwardLevelLSTM backpropagates one plan level through the
 // representation cell: elementwise gate gradients per node (parallel), then
 // the four gate GEMMs, then scatter of dE and the children's dG/dR halves.
+// The parallel stages are the prebound fnBwdCell* kernels, reading the level
+// index from s.lvi — like every forward kernel, so warm training passes
+// materialize no closures.
 func (s *BatchSession) backwardLevelLSTM(d int) {
-	lv := s.levels[d]
-	n := len(lv)
+	n := len(s.levels[d])
 	dh, de := s.dh, s.de
 	matInto(&s.dF, n, dh)
 	matInto(&s.dK1, n, dh)
@@ -221,102 +212,31 @@ func (s *BatchSession) backwardLevelLSTM(d int) {
 	matInto(&s.dK2, n, dh)
 	matInto(&s.dGp, n, dh)
 	matInto(&s.dZ, n, dh+de)
-	f, k1, r, k2 := &s.f[d], &s.k1[d], &s.r[d], &s.k2[d]
-	gPrev := &s.gPrev[d]
-
-	parallelFor(n, s.workers, func(j int) {
-		it := lv[j]
-		id := s.offsets[it.plan] + int(it.node)
-		cellGateGrads(dh, j, n,
-			s.dG[id*dh:(id+1)*dh], s.dR[id*dh:(id+1)*dh], s.tOf(id), gPrev.Row(j),
-			f, k1, r, k2,
-			s.dF.Row(j), s.dK1.Row(j), s.dRM.Row(j), s.dK2.Row(j), s.dGp.Row(j))
-	})
+	s.lvi = d
+	s.parRun(n, s.fnBwdCellGrads)
 
 	s.dZ.Zero()
 	s.m.repCell.levelBackwardGEMM(&s.dF, &s.dK1, &s.dRM, &s.dK2, &s.zt[d], &s.dZ)
 
-	parallelFor(n, s.workers, func(j int) {
-		it := lv[j]
-		node := &s.eps[it.plan].Nodes[it.node]
-		base := s.offsets[it.plan]
-		id := base + int(it.node)
-		dzRow := s.dZ.Row(j)
-		copy(s.dE[id*de:(id+1)*de], dzRow[dh:])
-		dgpR := s.dGp.Row(j)
-		// Rprev = (Rl+Rr)/2, Gprev = (Gl+Gr)/2: each child takes half.
-		if node.Left >= 0 {
-			lid := base + node.Left
-			dRl := s.dR[lid*dh : (lid+1)*dh]
-			dGl := s.dG[lid*dh : (lid+1)*dh]
-			for i := 0; i < dh; i++ {
-				dRl[i] += dzRow[i] / 2
-				dGl[i] += dgpR[i] / 2
-			}
-		}
-		if node.Right >= 0 {
-			rid := base + node.Right
-			dRr := s.dR[rid*dh : (rid+1)*dh]
-			dGr := s.dG[rid*dh : (rid+1)*dh]
-			for i := 0; i < dh; i++ {
-				dRr[i] += dzRow[i] / 2
-				dGr[i] += dgpR[i] / 2
-			}
-		}
-	})
+	s.parRun(n, s.fnBwdCellScatter)
 }
 
 // backwardLevelNN is the RepNN counterpart: R = ReLU(W·[E, Rl, Rr] + b), so
-// one masked GEMM per level.
+// one masked GEMM per level, framed by the prebound fnBwdNN* kernels.
 func (s *BatchSession) backwardLevelNN(d int) {
-	lv := s.levels[d]
-	n := len(lv)
+	n := len(s.levels[d])
 	dh, de := s.dh, s.de
 	matInto(&s.dF, n, dh) // reused as the ReLU-masked upstream gradient
 	matInto(&s.dZ, n, de+2*dh)
-
-	parallelFor(n, s.workers, func(j int) {
-		it := lv[j]
-		id := s.offsets[it.plan] + int(it.node)
-		rRow := s.rOf(id)
-		dRrow := s.dR[id*dh : (id+1)*dh]
-		dfR := s.dF.Row(j)
-		for i := 0; i < dh; i++ {
-			if rRow[i] > 0 {
-				dfR[i] = dRrow[i]
-			} else {
-				dfR[i] = 0
-			}
-		}
-	})
+	s.lvi = d
+	s.parRun(n, s.fnBwdNNGrads)
 
 	tensor.MatMulTransAInto(s.m.repNN.W.GradMat(), &s.dF, &s.zt[d])
 	tensor.AddColumnSums(s.m.repNN.B.GradVec(), &s.dF)
 	s.dZ.Zero()
 	tensor.AddMatMulInto(&s.dZ, &s.dF, s.m.repNN.W.Mat())
 
-	parallelFor(n, s.workers, func(j int) {
-		it := lv[j]
-		node := &s.eps[it.plan].Nodes[it.node]
-		base := s.offsets[it.plan]
-		id := base + int(it.node)
-		dzRow := s.dZ.Row(j)
-		copy(s.dE[id*de:(id+1)*de], dzRow[:de])
-		if node.Left >= 0 {
-			lid := base + node.Left
-			dRl := s.dR[lid*dh : (lid+1)*dh]
-			for i := 0; i < dh; i++ {
-				dRl[i] += dzRow[de+i]
-			}
-		}
-		if node.Right >= 0 {
-			rid := base + node.Right
-			dRr := s.dR[rid*dh : (rid+1)*dh]
-			for i := 0; i < dh; i++ {
-				dRr[i] += dzRow[de+dh+i]
-			}
-		}
-	})
+	s.parRun(n, s.fnBwdNNScatter)
 }
 
 // backwardEmbedAll backpropagates every node's embedding sublayers. The
@@ -385,39 +305,8 @@ func (s *BatchSession) backwardPredsBatch() {
 				tensor.MatMulTransAInto(m.predLeaf.W.GradMat(), &s.dLeaf, &s.pxt)
 				tensor.AddColumnSums(m.predLeaf.B.GradVec(), &s.dLeaf)
 			} else {
-				parallelFor(n, s.workers, func(j int) {
-					it := lv[j]
-					pn := &s.eps[it.plan].Nodes[it.node].Pred.Nodes[it.pidx]
-					fl := s.flatOf(it.plan, it.node, pn.Left)
-					fr := s.flatOf(it.plan, it.node, pn.Right)
-					d := s.dPOut[it.flat*epd : (it.flat+1)*epd]
-					l, r := s.pOutOf(fl), s.pOutOf(fr)
-					dl := s.dPOut[fl*epd : (fl+1)*epd]
-					dr := s.dPOut[fr*epd : (fr+1)*epd]
-					if m.Cfg.Pred == PredPoolMean {
-						// Mean pooling splits the gradient evenly.
-						for i := range d {
-							dl[i] = d[i] / 2
-							dr[i] = d[i] / 2
-						}
-						return
-					}
-					// Min/max pooling routes each component to the winning
-					// child (ties go left), like backwardPred.
-					for i := range d {
-						takeLeft := l[i] <= r[i]
-						if pn.Bool != 0 { // OR → max pooling
-							takeLeft = l[i] >= r[i]
-						}
-						if takeLeft {
-							dl[i] = d[i]
-							dr[i] = 0
-						} else {
-							dl[i] = 0
-							dr[i] = d[i]
-						}
-					}
-				})
+				s.plvi = h
+				s.parRun(n, s.fnBwdPredPool)
 			}
 		case PredLSTM:
 			s.backwardPredCellLevel(h)
@@ -429,8 +318,7 @@ func (s *BatchSession) backwardPredsBatch() {
 // predicate tree-LSTM: the same structure as backwardLevelLSTM, minus input
 // gradients (atom features are data, not parameters).
 func (s *BatchSession) backwardPredCellLevel(h int) {
-	lv := s.byLevel[h]
-	n := len(lv)
+	n := len(s.byLevel[h])
 	epd := s.epd
 	matInto(&s.dPF, n, epd)
 	matInto(&s.dPK1, n, epd)
@@ -438,22 +326,166 @@ func (s *BatchSession) backwardPredCellLevel(h int) {
 	matInto(&s.dPK2, n, epd)
 	matInto(&s.dPGp, n, epd)
 	matInto(&s.dPZ, n, epd+s.atomDim)
-	f, k1, r, k2 := &s.pf[h], &s.pk1[h], &s.pr[h], &s.pk2[h]
-	gPrev := &s.pgPrev[h]
-
-	parallelFor(n, s.workers, func(j int) {
-		fl := lv[j].flat
-		cellGateGrads(epd, j, n,
-			s.dPG[fl*epd:(fl+1)*epd], s.dPOut[fl*epd:(fl+1)*epd], s.ptOf(fl), gPrev.Row(j),
-			f, k1, r, k2,
-			s.dPF.Row(j), s.dPK1.Row(j), s.dPRM.Row(j), s.dPK2.Row(j), s.dPGp.Row(j))
-	})
+	s.plvi = h
+	s.parRun(n, s.fnBwdPredGrads)
 
 	s.dPZ.Zero()
 	s.m.predCell.levelBackwardGEMM(&s.dPF, &s.dPK1, &s.dPRM, &s.dPK2, &s.pzt[h], &s.dPZ)
 
-	parallelFor(n, s.workers, func(j int) {
+	s.parRun(n, s.fnBwdPredScatter)
+}
+
+// bindBackwardKernels allocates the training backward pass's parallel
+// kernels once, mirroring bindKernels: loop context travels through session
+// fields (lvi/plvi, bwdH/bwdWo), so warm training passes — including every
+// data-parallel worker's — materialize no closures and allocate nothing.
+func (s *BatchSession) bindBackwardKernels() {
+	s.fnHeadBack = func(j int) {
+		row := s.dH.Row(j)
+		hrow := s.bwdH.Row(j)
+		p := s.dPre[j]
+		for i := range row {
+			if hrow[i] > 0 {
+				row[i] = p * s.bwdWo[i]
+			} else {
+				row[i] = 0
+			}
+		}
+	}
+
+	s.fnBwdCellGrads = func(j int) {
+		d := s.lvi
+		lv := s.levels[d]
+		n := len(lv)
+		dh := s.dh
 		it := lv[j]
+		id := s.offsets[it.plan] + int(it.node)
+		cellGateGrads(dh, j, n,
+			s.dG[id*dh:(id+1)*dh], s.dR[id*dh:(id+1)*dh], s.tOf(id), s.gPrev[d].Row(j),
+			&s.f[d], &s.k1[d], &s.r[d], &s.k2[d],
+			s.dF.Row(j), s.dK1.Row(j), s.dRM.Row(j), s.dK2.Row(j), s.dGp.Row(j))
+	}
+
+	s.fnBwdCellScatter = func(j int) {
+		it := s.levels[s.lvi][j]
+		node := &s.eps[it.plan].Nodes[it.node]
+		base := s.offsets[it.plan]
+		id := base + int(it.node)
+		dh, de := s.dh, s.de
+		dzRow := s.dZ.Row(j)
+		copy(s.dE[id*de:(id+1)*de], dzRow[dh:])
+		dgpR := s.dGp.Row(j)
+		// Rprev = (Rl+Rr)/2, Gprev = (Gl+Gr)/2: each child takes half.
+		if node.Left >= 0 {
+			lid := base + node.Left
+			dRl := s.dR[lid*dh : (lid+1)*dh]
+			dGl := s.dG[lid*dh : (lid+1)*dh]
+			for i := 0; i < dh; i++ {
+				dRl[i] += dzRow[i] / 2
+				dGl[i] += dgpR[i] / 2
+			}
+		}
+		if node.Right >= 0 {
+			rid := base + node.Right
+			dRr := s.dR[rid*dh : (rid+1)*dh]
+			dGr := s.dG[rid*dh : (rid+1)*dh]
+			for i := 0; i < dh; i++ {
+				dRr[i] += dzRow[i] / 2
+				dGr[i] += dgpR[i] / 2
+			}
+		}
+	}
+
+	s.fnBwdNNGrads = func(j int) {
+		it := s.levels[s.lvi][j]
+		id := s.offsets[it.plan] + int(it.node)
+		dh := s.dh
+		rRow := s.rOf(id)
+		dRrow := s.dR[id*dh : (id+1)*dh]
+		dfR := s.dF.Row(j)
+		for i := 0; i < dh; i++ {
+			if rRow[i] > 0 {
+				dfR[i] = dRrow[i]
+			} else {
+				dfR[i] = 0
+			}
+		}
+	}
+
+	s.fnBwdNNScatter = func(j int) {
+		it := s.levels[s.lvi][j]
+		node := &s.eps[it.plan].Nodes[it.node]
+		base := s.offsets[it.plan]
+		id := base + int(it.node)
+		dh, de := s.dh, s.de
+		dzRow := s.dZ.Row(j)
+		copy(s.dE[id*de:(id+1)*de], dzRow[:de])
+		if node.Left >= 0 {
+			lid := base + node.Left
+			dRl := s.dR[lid*dh : (lid+1)*dh]
+			for i := 0; i < dh; i++ {
+				dRl[i] += dzRow[de+i]
+			}
+		}
+		if node.Right >= 0 {
+			rid := base + node.Right
+			dRr := s.dR[rid*dh : (rid+1)*dh]
+			for i := 0; i < dh; i++ {
+				dRr[i] += dzRow[de+dh+i]
+			}
+		}
+	}
+
+	s.fnBwdPredPool = func(j int) {
+		it := s.byLevel[s.plvi][j]
+		epd := s.epd
+		pn := &s.eps[it.plan].Nodes[it.node].Pred.Nodes[it.pidx]
+		fl := s.flatOf(it.plan, it.node, pn.Left)
+		fr := s.flatOf(it.plan, it.node, pn.Right)
+		d := s.dPOut[it.flat*epd : (it.flat+1)*epd]
+		l, r := s.pOutOf(fl), s.pOutOf(fr)
+		dl := s.dPOut[fl*epd : (fl+1)*epd]
+		dr := s.dPOut[fr*epd : (fr+1)*epd]
+		if s.m.Cfg.Pred == PredPoolMean {
+			// Mean pooling splits the gradient evenly.
+			for i := range d {
+				dl[i] = d[i] / 2
+				dr[i] = d[i] / 2
+			}
+			return
+		}
+		// Min/max pooling routes each component to the winning child (ties
+		// go left), like backwardPred.
+		for i := range d {
+			takeLeft := l[i] <= r[i]
+			if pn.Bool != 0 { // OR → max pooling
+				takeLeft = l[i] >= r[i]
+			}
+			if takeLeft {
+				dl[i] = d[i]
+				dr[i] = 0
+			} else {
+				dl[i] = 0
+				dr[i] = d[i]
+			}
+		}
+	}
+
+	s.fnBwdPredGrads = func(j int) {
+		h := s.plvi
+		lv := s.byLevel[h]
+		n := len(lv)
+		epd := s.epd
+		fl := lv[j].flat
+		cellGateGrads(epd, j, n,
+			s.dPG[fl*epd:(fl+1)*epd], s.dPOut[fl*epd:(fl+1)*epd], s.ptOf(fl), s.pgPrev[h].Row(j),
+			&s.pf[h], &s.pk1[h], &s.pr[h], &s.pk2[h],
+			s.dPF.Row(j), s.dPK1.Row(j), s.dPRM.Row(j), s.dPK2.Row(j), s.dPGp.Row(j))
+	}
+
+	s.fnBwdPredScatter = func(j int) {
+		it := s.byLevel[s.plvi][j]
+		epd := s.epd
 		pn := &s.eps[it.plan].Nodes[it.node].Pred.Nodes[it.pidx]
 		dzRow := s.dPZ.Row(j)
 		dgpR := s.dPGp.Row(j)
@@ -475,5 +507,5 @@ func (s *BatchSession) backwardPredCellLevel(h int) {
 				dGr[i] += dgpR[i] / 2
 			}
 		}
-	})
+	}
 }

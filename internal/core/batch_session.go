@@ -2,7 +2,6 @@ package core
 
 import (
 	"math"
-	"runtime"
 	"sync"
 
 	"costest/internal/feature"
@@ -97,8 +96,12 @@ type BatchSession struct {
 	dPOut, dPG                       []float64
 	dPF, dPK1, dPRM, dPK2, dPGp, dPZ tensor.Mat
 	dLeaf                            tensor.Mat
+	// Head-backward context read by fnHeadBack (headBackOne runs twice per
+	// pass, once per estimation head).
+	bwdH  *tensor.Mat
+	bwdWo []float64
 
-	// Prebound parallel kernels (see bindKernels).
+	// Prebound parallel kernels (see bindKernels and bindBackwardKernels).
 	fnEmbed, fnPredRoot                 func(int)
 	fnPredLeafGather, fnPredLeafScatter func(int)
 	fnPredPoolCombine                   func(int)
@@ -106,6 +109,11 @@ type BatchSession struct {
 	fnCellFill, fnCellFinish            func(int)
 	fnNNFill, fnNNFinish                func(int)
 	fnHeadFinish                        func(int)
+	fnHeadBack                          func(int)
+	fnBwdCellGrads, fnBwdCellScatter    func(int)
+	fnBwdNNGrads, fnBwdNNScatter        func(int)
+	fnBwdPredPool                       func(int)
+	fnBwdPredGrads, fnBwdPredScatter    func(int)
 }
 
 // headItem addresses one head evaluation: a plan's root (cost) or its
@@ -123,6 +131,7 @@ func NewBatchSession(m *Model) *BatchSession {
 		epd: m.ePred, atomDim: m.Enc.AtomDim(),
 	}
 	s.bindKernels()
+	s.bindBackwardKernels()
 	return s
 }
 
@@ -192,10 +201,7 @@ func (s *BatchSession) parRun(n int, fn func(int)) {
 
 // run is the shared forward driver for inference and training passes.
 func (s *BatchSession) run(eps []*feature.EncodedPlan, pool *MemoryPool, workers int, train bool) []Estimate {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	s.workers = workers
+	s.workers = resolveWorkers(workers)
 	s.train = train
 	s.eps = eps
 	if len(eps) == 0 {

@@ -39,9 +39,14 @@ type MemoryPool struct {
 	// lazily on lookup.
 	gen atomic.Uint64
 	// maxPerShard bounds each shard's entry count (0 = unbounded), keeping a
-	// long-lived serving process from growing without limit.
-	maxPerShard int
-	shards      [poolShardCount]poolShard
+	// long-lived serving process from growing without limit. Atomic so
+	// SetBound can retune a live pool between generations.
+	maxPerShard atomic.Int64
+	// adviseMu guards the Advise window below (the counters themselves are
+	// the atomics above; the window is the last values Advise sampled).
+	adviseMu                        sync.Mutex
+	lastHits, lastMisses, lastStale int64
+	shards                          [poolShardCount]poolShard
 }
 
 type poolShard struct {
@@ -84,7 +89,7 @@ func NewMemoryPool() *MemoryPool {
 func NewBoundedMemoryPool(maxEntries int) *MemoryPool {
 	p := &MemoryPool{}
 	if maxEntries > 0 {
-		p.maxPerShard = (maxEntries + poolShardCount - 1) / poolShardCount
+		p.maxPerShard.Store(int64((maxEntries + poolShardCount - 1) / poolShardCount))
 	}
 	for i := range p.shards {
 		p.shards[i].m = make(map[string]*poolEntry)
@@ -201,8 +206,13 @@ func (p *MemoryPool) PutGen(sig string, g, r []float64, gen uint64) {
 		return
 	}
 	e := &poolEntry{sig: sig, g: gc, r: rc, gen: gen}
-	if p.maxPerShard > 0 {
-		if len(s.ring) >= p.maxPerShard {
+	if max := int(p.maxPerShard.Load()); max > 0 {
+		// A shrunk bound (SetBound) may leave the ring oversized; evict down
+		// before placing the new entry so residency converges on the bound.
+		for len(s.ring) > max {
+			s.evictOneLocked()
+		}
+		if len(s.ring) == max {
 			for {
 				v := s.ring[s.hand]
 				if !v.dead {
@@ -222,6 +232,28 @@ func (p *MemoryPool) PutGen(sig string, g, r []float64, gen uint64) {
 	}
 	s.m[sig] = e
 	s.mu.Unlock()
+}
+
+// evictOneLocked removes one ring slot by the clock policy — dead slots are
+// reclaimed first, referenced entries get their second chance — compacting
+// the ring. Called with the shard write lock held, only on the shrink path
+// (the steady-state full-shard path reuses slots in place instead).
+func (s *poolShard) evictOneLocked() {
+	for {
+		v := s.ring[s.hand]
+		if !v.dead {
+			if v.ref.CompareAndSwap(true, false) {
+				s.hand = (s.hand + 1) % len(s.ring)
+				continue
+			}
+			delete(s.m, v.sig)
+		}
+		s.ring = append(s.ring[:s.hand], s.ring[s.hand+1:]...)
+		if s.hand >= len(s.ring) {
+			s.hand = 0
+		}
+		return
+	}
 }
 
 // Len returns the number of cached sub-plans.
@@ -257,6 +289,132 @@ func (p *MemoryPool) StaleRate() float64 {
 	return float64(p.stale.Load()) / float64(total)
 }
 
+// Bound returns the pool's configured residency bound (0 = unbounded),
+// rounded up to a whole number of per-shard slots.
+func (p *MemoryPool) Bound() int {
+	per := p.maxPerShard.Load()
+	if per == 0 {
+		return 0
+	}
+	return int(per) * poolShardCount
+}
+
+// SetBound re-targets the pool's residency bound across generations
+// (0 disables bounding). Like the constructor's bound it is approximate —
+// enforced per shard — and it applies to a live pool: growth takes effect
+// immediately, shrinking evicts down to the new bound right away using the
+// clock policy (dead generation-evicted slots reclaimed first, referenced
+// entries keeping their second chance). A pool constructed unbounded builds
+// its clock ring here on first bounding; that ring's initial order follows
+// map iteration, so the first sweep order over pre-existing entries is
+// arbitrary — subsequent behavior is the standard clock policy.
+func (p *MemoryPool) SetBound(maxEntries int) {
+	var per int64
+	if maxEntries > 0 {
+		per = int64((maxEntries + poolShardCount - 1) / poolShardCount)
+	}
+	p.maxPerShard.Store(per)
+	if per == 0 {
+		// Unbounded: drop the rings; a later SetBound rebuilds them.
+		for i := range p.shards {
+			s := &p.shards[i]
+			s.mu.Lock()
+			s.ring = s.ring[:0]
+			s.hand = 0
+			s.mu.Unlock()
+		}
+		return
+	}
+	for i := range p.shards {
+		s := &p.shards[i]
+		s.mu.Lock()
+		if len(s.ring) < len(s.m) {
+			// Previously unbounded (or rings dropped): rebuild the ring over
+			// the resident entries.
+			s.ring = s.ring[:0]
+			s.hand = 0
+			for _, e := range s.m {
+				s.ring = append(s.ring, e)
+			}
+		}
+		for len(s.ring) > int(per) {
+			s.evictOneLocked()
+		}
+		s.mu.Unlock()
+	}
+}
+
+// PoolAdvice is a sizing recommendation computed from the pool's observed
+// behavior since the previous Advise call.
+type PoolAdvice struct {
+	// Bound is the configured residency bound at advice time (0 unbounded);
+	// Entries the resident count.
+	Bound   int
+	Entries int
+	// HitRate and StaleRate cover the window since the last Advise call
+	// (unlike the lifetime MemoryPool.HitRate/StaleRate).
+	HitRate   float64
+	StaleRate float64
+	// Recommended is the suggested bound; pass it to SetBound to apply.
+	// Equal to Bound when no change is warranted.
+	Recommended int
+	// Reason explains the recommendation (for operator logs).
+	Reason string
+}
+
+// Advise returns a bound recommendation from the pool's hit/stale rates and
+// occupancy over the window since the last Advise call — the adaptive-sizing
+// hook for hot-swap serving, where each publish briefly doubles the live
+// working set (old-generation entries decay lazily while the new generation
+// repopulates). Call it at a coarse cadence (per publish, or per N seconds)
+// and apply with SetBound; the heuristics:
+//
+//   - High stale rate → a generation turnover is in flight and stale entries
+//     double-book capacity: recommend transient headroom proportional to the
+//     stale share so the new generation doesn't evict its own entries.
+//   - Low hit rate with the pool near its bound → the working set does not
+//     fit: recommend doubling.
+//   - High hit rate with the pool at most half full → the bound is oversized
+//     for the workload: recommend shrinking toward the resident set (25%
+//     headroom).
+//   - Unbounded pools are recommended a bound that holds the resident set
+//     with 25% headroom, so long-lived processes can cap growth.
+func (p *MemoryPool) Advise() PoolAdvice {
+	p.adviseMu.Lock()
+	hits, misses, stale := p.hits.Load(), p.misses.Load(), p.stale.Load()
+	dh, dm, ds := hits-p.lastHits, misses-p.lastMisses, stale-p.lastStale
+	p.lastHits, p.lastMisses, p.lastStale = hits, misses, stale
+	p.adviseMu.Unlock()
+
+	a := PoolAdvice{Bound: p.Bound(), Entries: p.Len()}
+	a.Recommended = a.Bound
+	total := dh + dm
+	if total > 0 {
+		a.HitRate = float64(dh) / float64(total)
+		a.StaleRate = float64(ds) / float64(total)
+	}
+	withHeadroom := a.Entries + a.Entries/4
+	switch {
+	case total == 0:
+		a.Reason = "no lookups in window; keep bound"
+	case a.Bound == 0:
+		a.Recommended = withHeadroom
+		a.Reason = "unbounded; bound to resident set + 25% headroom"
+	case a.StaleRate > 0.1:
+		a.Recommended = a.Bound + int(a.StaleRate*float64(a.Bound))
+		a.Reason = "generation turnover in flight; transient headroom for double-booked entries"
+	case a.HitRate < 0.5 && a.Entries >= a.Bound*9/10:
+		a.Recommended = a.Bound * 2
+		a.Reason = "working set exceeds bound (low hit rate at full residency); grow"
+	case a.HitRate > 0.9 && a.Entries <= a.Bound/2:
+		a.Recommended = withHeadroom
+		a.Reason = "bound oversized for workload (high hit rate, low occupancy); shrink"
+	default:
+		a.Reason = "hit/occupancy within band; keep bound"
+	}
+	return a
+}
+
 // Reset clears contents and counters. All shard locks are held for the
 // clear, so it is a point-in-time barrier like the seed's single-mutex
 // Reset: no Put that completed before Reset returns survives it. (Hit/miss
@@ -275,6 +433,9 @@ func (p *MemoryPool) Reset() {
 	p.hits.Store(0)
 	p.misses.Store(0)
 	p.stale.Store(0)
+	p.adviseMu.Lock()
+	p.lastHits, p.lastMisses, p.lastStale = 0, 0, 0
+	p.adviseMu.Unlock()
 	for i := range p.shards {
 		p.shards[i].mu.Unlock()
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -33,8 +34,74 @@ type Server struct {
 	// pubMu serializes publishers; readers are lock-free.
 	pubMu sync.Mutex
 
+	// prewarm tracks the hottest served plans for post-publish pool
+	// pre-warming (nil when disabled); prewarmMu serializes background
+	// replays so they never pile up across rapid publishes.
+	prewarm   atomic.Pointer[hotTracker]
+	prewarmMu sync.Mutex
+
 	sessions      sync.Pool
 	batchSessions sync.Pool
+}
+
+// hotTracker records how often each distinct plan (keyed by its root
+// signature) has been served, so a publish can replay the hottest ones
+// through the new snapshot. Hit counts are halved at each replay, so the hot
+// set adapts as the workload drifts. The tracker retains references to the
+// served EncodedPlans; cap the working set with the EnablePrewarm limit.
+type hotTracker struct {
+	mu    sync.Mutex
+	limit int
+	plans map[string]*hotPlan
+	// scratch buffers reused across replays.
+	order []*hotPlan
+	batch []*feature.EncodedPlan
+}
+
+type hotPlan struct {
+	ep   *feature.EncodedPlan
+	hits int64
+}
+
+// track counts one served plan. New plans are admitted while the tracked set
+// is under twice the replay limit; replays prune it back down.
+func (tr *hotTracker) track(ep *feature.EncodedPlan) {
+	sig := ep.Nodes[ep.Root].Sig
+	tr.mu.Lock()
+	if hp := tr.plans[sig]; hp != nil {
+		hp.hits++
+	} else if len(tr.plans) < 2*tr.limit {
+		tr.plans[sig] = &hotPlan{ep: ep, hits: 1}
+	}
+	tr.mu.Unlock()
+}
+
+// topPlans returns the hottest tracked plans (at most the replay limit, hit
+// count descending, root signature as the deterministic tie-break), halves
+// every hit count, and prunes cooled-off entries beyond the limit.
+func (tr *hotTracker) topPlans() []*feature.EncodedPlan {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	tr.order = tr.order[:0]
+	for _, hp := range tr.plans {
+		tr.order = append(tr.order, hp)
+	}
+	sort.Slice(tr.order, func(i, j int) bool {
+		if tr.order[i].hits != tr.order[j].hits {
+			return tr.order[i].hits > tr.order[j].hits
+		}
+		return tr.order[i].ep.Nodes[tr.order[i].ep.Root].Sig < tr.order[j].ep.Nodes[tr.order[j].ep.Root].Sig
+	})
+	tr.batch = tr.batch[:0]
+	for i, hp := range tr.order {
+		if i < tr.limit {
+			tr.batch = append(tr.batch, hp.ep)
+		} else if hp.hits <= 1 {
+			delete(tr.plans, hp.ep.Nodes[hp.ep.Root].Sig)
+		}
+		hp.hits /= 2
+	}
+	return tr.batch
 }
 
 // NewServer returns a server whose initial snapshot (version 1) copies m's
@@ -76,8 +143,66 @@ func (srv *Server) Publish(m *Model) *ModelSnapshot {
 	srv.pubMu.Unlock()
 	if srv.pool != nil {
 		srv.pool.SetGeneration(snap.version)
+		if srv.prewarm.Load() != nil {
+			// Hide the post-swap stale transient from foreground requests:
+			// replay the hottest signatures through the new snapshot in the
+			// background, repopulating the pool at the new generation.
+			go srv.prewarmReplay(snap)
+		}
 	}
 	return snap
+}
+
+// EnablePrewarm turns on post-publish pool pre-warming: the server tracks
+// the hottest served plans (up to limit replayed per publish) and, after
+// every Publish, re-evaluates them against the new snapshot in a background
+// goroutine so their representations are already resident at the new pool
+// generation when foreground requests arrive — the stale-lookup transient a
+// swap otherwise causes is paid off the request path. limit <= 0 disables.
+// Enable before serving begins; tracking adds one small critical section per
+// request. On a server without a pool the call is a no-op (there is nothing
+// to pre-warm, so no tracking overhead is installed either).
+func (srv *Server) EnablePrewarm(limit int) {
+	if limit <= 0 || srv.pool == nil {
+		srv.prewarm.Store(nil)
+		return
+	}
+	srv.prewarm.Store(&hotTracker{limit: limit, plans: make(map[string]*hotPlan)})
+}
+
+// PrewarmNow replays the hottest tracked plans through the currently served
+// snapshot synchronously, returning how many were replayed — the foreground
+// form of the background pass Publish schedules (deterministic hooks for
+// tests and warm-up scripts).
+func (srv *Server) PrewarmNow() int {
+	return srv.prewarmReplay(srv.cur.Load())
+}
+
+// prewarmReplay re-evaluates the hottest tracked plans against snap,
+// inserting their sub-plan representations into the pool at snap's
+// generation. Replays are serialized, and a replay whose snapshot has been
+// superseded is skipped (the newer publish scheduled its own).
+func (srv *Server) prewarmReplay(snap *ModelSnapshot) int {
+	tr := srv.prewarm.Load()
+	if tr == nil || srv.pool == nil {
+		return 0
+	}
+	srv.prewarmMu.Lock()
+	defer srv.prewarmMu.Unlock()
+	if srv.cur.Load() != snap {
+		return 0
+	}
+	plans := tr.topPlans()
+	if len(plans) == 0 {
+		return 0
+	}
+	// One worker: pre-warming is a background nicety and must not steal
+	// cores from foreground serving.
+	s := srv.batchSession(snap)
+	s.EstimateBatchWithPool(plans, srv.pool, 1)
+	s.releasePlans()
+	srv.batchSessions.Put(s)
+	return len(plans)
 }
 
 // Estimate serves one plan against the current snapshot through the
@@ -89,6 +214,9 @@ func (srv *Server) Estimate(ep *feature.EncodedPlan) (cost, card float64, versio
 	s := srv.session(snap)
 	cost, card = s.EstimateWithPool(ep, srv.pool)
 	srv.sessions.Put(s)
+	if tr := srv.prewarm.Load(); tr != nil {
+		tr.track(ep)
+	}
 	return cost, card, snap.version
 }
 
@@ -108,6 +236,11 @@ func (srv *Server) EstimateBatch(eps []*feature.EncodedPlan, workers int) ([]Est
 	copy(out, s.EstimateBatchWithPool(eps, srv.pool, workers))
 	s.releasePlans()
 	srv.batchSessions.Put(s)
+	if tr := srv.prewarm.Load(); tr != nil {
+		for _, ep := range eps {
+			tr.track(ep)
+		}
+	}
 	return out, snap.version
 }
 

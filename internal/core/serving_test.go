@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // TestSnapshotImmutableUnderTraining pins the copy-on-publish contract: a
@@ -313,6 +314,102 @@ func TestServerHotSwapConcurrentBitIdentical(t *testing.T) {
 	}
 	t.Logf("replayed %d served estimates across %d versions (per-version counts: %v); pool hit %.0f%%, stale %.1f%%",
 		served, len(versions), versions, srv.Pool().HitRate()*100, srv.Pool().StaleRate()*100)
+}
+
+// TestServerPrewarmHidesSwapTransient pins the pre-warm contract: with
+// pre-warming enabled, the hottest served plans' representations are already
+// resident at the *new* pool generation once the post-publish replay has
+// run — a foreground request arriving after the swap hits the pool instead
+// of paying the stale-miss recompute — and the pre-warmed entries carry
+// exactly the bits foreground recomputation would produce. A server without
+// pre-warming is the control: the same lookup misses.
+func TestServerPrewarmHidesSwapTransient(t *testing.T) {
+	eps := benchCorpus(t, 12)
+	cfg := TestConfig()
+	m := New(cfg, testEnc)
+	tr := NewTrainer(m)
+	tr.FitNormalizers(eps)
+	srv := NewServer(m, NewBoundedMemoryPool(1024))
+	srv.EnablePrewarm(4)
+
+	ctrl := NewServer(New(cfg, testEnc), NewBoundedMemoryPool(1024))
+
+	// Build hotness: the first 4 plans are served repeatedly, the rest once.
+	for k := 0; k < 5; k++ {
+		for i := 0; i < 4; i++ {
+			srv.Estimate(eps[i])
+			ctrl.Estimate(eps[i])
+		}
+	}
+	for _, ep := range eps {
+		srv.Estimate(ep)
+		ctrl.Estimate(ep)
+	}
+
+	tr.TrainEpochBatched(eps, 8, 1)
+	tr.Publish(srv)
+	ctrl.Publish(m)
+	if n := srv.PrewarmNow(); n == 0 {
+		t.Fatal("PrewarmNow replayed no plans despite tracked traffic")
+	}
+
+	v := srv.Version()
+	hotSig := eps[0].Nodes[eps[0].Root].Sig
+	if _, _, ok := srv.Pool().GetGen(hotSig, v); !ok {
+		t.Fatal("hot plan not resident at the new generation after pre-warm")
+	}
+	if _, _, ok := ctrl.Pool().GetGen(hotSig, ctrl.Version()); ok {
+		t.Fatal("control server hit at the new generation without pre-warm; transient test is vacuous")
+	}
+
+	// Pre-warmed entries must serve the same bits as an unpooled
+	// single-threaded replay of the new snapshot.
+	ref := NewSession(srv.Snapshot().Model())
+	for i := 0; i < 4; i++ {
+		c, d, sv := srv.Estimate(eps[i])
+		rc, rd := ref.Estimate(eps[i])
+		if sv != v || c != rc || d != rd {
+			t.Fatalf("plan %d: prewarmed serve (%g,%g) at v%d, replay (%g,%g) at v%d", i, c, d, sv, rc, rd, v)
+		}
+	}
+}
+
+// TestServerPrewarmBackground exercises the asynchronous path Publish
+// actually takes: after a publish, the background replay must repopulate the
+// pool at the new generation without any foreground call.
+func TestServerPrewarmBackground(t *testing.T) {
+	eps := benchCorpus(t, 8)
+	cfg := TestConfig()
+	m := New(cfg, testEnc)
+	tr := NewTrainer(m)
+	tr.FitNormalizers(eps)
+	srv := NewServer(m, NewBoundedMemoryPool(1024))
+	srv.EnablePrewarm(4)
+	for k := 0; k < 3; k++ {
+		for _, ep := range eps {
+			srv.Estimate(ep)
+		}
+	}
+	tr.TrainEpochBatched(eps, 8, 1)
+	tr.Publish(srv)
+
+	v := srv.Version()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		hits := 0
+		for _, ep := range eps[:4] {
+			if _, _, ok := srv.Pool().GetGen(ep.Nodes[ep.Root].Sig, v); ok {
+				hits++
+			}
+		}
+		if hits > 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("background pre-warm never repopulated the pool at the new generation")
+		}
+		time.Sleep(time.Millisecond)
+	}
 }
 
 // BenchmarkPublish measures hot-swap publication latency: one deep weight

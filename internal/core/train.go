@@ -22,9 +22,11 @@ type Trainer struct {
 	sess *InferenceSession
 
 	// bsess is the shared batch forward/backward arena for TrainEpochBatched,
-	// created on first use; batchBuf is the reusable minibatch gather slice.
+	// created on first use; batchBuf is the reusable minibatch gather slice
+	// and permBuf the reusable epoch shuffle.
 	bsess    *BatchSession
 	batchBuf []*feature.EncodedPlan
+	permBuf  []int
 }
 
 // NewTrainer builds a trainer for the model.
@@ -67,6 +69,23 @@ func (t *Trainer) rebuildLosses() {
 	}
 }
 
+// permute fills the trainer's reusable shuffle buffer with the same
+// permutation rand.Perm would produce (identical draws from t.rng, so epoch
+// schedules are unchanged and every epoch driver sharing the trainer's rng
+// stays replayable against the others), without allocating at steady state.
+func (t *Trainer) permute(n int) []int {
+	if cap(t.permBuf) < n {
+		t.permBuf = make([]int, n)
+	}
+	p := t.permBuf[:n]
+	for i := range p {
+		j := t.rng.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
 // TrainEpoch runs one epoch over samples in shuffled mini-batches and
 // returns the mean per-sample loss.
 func (t *Trainer) TrainEpoch(samples []*feature.EncodedPlan, batchSize int) float64 {
@@ -76,7 +95,7 @@ func (t *Trainer) TrainEpoch(samples []*feature.EncodedPlan, batchSize int) floa
 	if batchSize <= 0 {
 		batchSize = 32
 	}
-	idx := t.rng.Perm(len(samples))
+	idx := t.permute(len(samples))
 	var total float64
 	for start := 0; start < len(idx); start += batchSize {
 		end := start + batchSize
@@ -112,7 +131,7 @@ func (t *Trainer) TrainEpochBatched(samples []*feature.EncodedPlan, batchSize, w
 	if t.bsess == nil {
 		t.bsess = NewBatchSession(t.M)
 	}
-	idx := t.rng.Perm(len(samples))
+	idx := t.permute(len(samples))
 	var total float64
 	for start := 0; start < len(idx); start += batchSize {
 		end := start + batchSize

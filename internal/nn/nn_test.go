@@ -312,6 +312,52 @@ func TestDuplicateParamPanics(t *testing.T) {
 	ps.NewParam("x", 1, 1)
 }
 
+// TestAliasValues pins the gradient-shadow contract: after AliasValues the
+// shadow reads the source's live weights (including later source mutations)
+// while its gradients stay private, and mismatched sets panic.
+func TestAliasValues(t *testing.T) {
+	build := func() *ParamSet {
+		ps := NewParamSet()
+		ps.NewParam("w", 2, 3)
+		ps.NewParam("b", 2, 1)
+		return ps
+	}
+	src, shadow := build(), build()
+	for i, p := range src.Params() {
+		for j := range p.Value {
+			p.Value[j] = float64(i*10 + j)
+		}
+	}
+	shadow.AliasValues(src)
+	src.Get("w").Value[4] = -7 // live mutation must be visible through the shadow
+	if got := shadow.Get("w").Value[4]; got != -7 {
+		t.Fatalf("shadow value = %g, want source's live -7", got)
+	}
+	shadow.Get("w").Grad[0] = 1
+	if src.Get("w").Grad[0] != 0 {
+		t.Fatal("shadow gradient leaked into source")
+	}
+	src.Get("b").Grad[1] = 2
+	if shadow.Get("b").Grad[1] != 0 {
+		t.Fatal("source gradient leaked into shadow")
+	}
+	if shadow.Get("w").m != nil || shadow.Get("w").v != nil {
+		t.Fatal("shadow kept Adam moment buffers after aliasing")
+	}
+	if src.Get("w").m == nil || src.Get("w").v == nil {
+		t.Fatal("aliasing released the source's Adam moments")
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic aliasing mismatched param sets")
+		}
+	}()
+	other := NewParamSet()
+	other.NewParam("w", 2, 3)
+	other.AliasValues(src)
+}
+
 func TestActivations(t *testing.T) {
 	x := tensor.Vec{-1, 0, 2}
 	y := tensor.NewVec(3)

@@ -129,6 +129,38 @@ func (ps *ParamSet) ClipGradNorm(max float64) float64 {
 	return norm
 }
 
+// AliasValues re-points every parameter's value storage at the matching
+// parameter of src, making ps a gradient shadow of src: forward passes
+// through ps read src's live weights with no copying, while gradients stay
+// private to ps. This is the substrate of data-parallel training — each
+// worker accumulates into its own shadow ParamSet and the shards are
+// reduced deterministically into the real optimizer state.
+//
+// A shadow accumulates gradients but is never stepped, so its Adam moment
+// buffers (and its discarded initial values) are released — after aliasing,
+// each parameter keeps only its Grad live. Stepping an aliased set panics.
+//
+// Both sets must have been built by the same construction path: parameters
+// are matched positionally and must agree in name and shape (a mismatch
+// panics, since it indicates a wiring bug, mirroring snapshot copying).
+// Callers own the synchronization: shadow readers must not overlap writes to
+// src's values (the parallel trainer steps the optimizer only between
+// worker joins).
+func (ps *ParamSet) AliasValues(src *ParamSet) {
+	if len(ps.params) != len(src.params) {
+		panic(fmt.Sprintf("nn: AliasValues parameter count mismatch: %d vs %d", len(ps.params), len(src.params)))
+	}
+	for i, p := range ps.params {
+		sp := src.params[i]
+		if p.Name != sp.Name || p.Rows != sp.Rows || p.Cols != sp.Cols {
+			panic(fmt.Sprintf("nn: AliasValues parameter mismatch: %q %dx%d vs %q %dx%d",
+				p.Name, p.Rows, p.Cols, sp.Name, sp.Rows, sp.Cols))
+		}
+		p.Value = sp.Value
+		p.m, p.v = nil, nil
+	}
+}
+
 // paramBlob is the gob wire format for a parameter.
 type paramBlob struct {
 	Name       string

@@ -203,6 +203,35 @@ func AddScaled(dst Vec, alpha float64, src Vec) {
 	}
 }
 
+// AddVecsInto accumulates dst += Σ srcs[k] elementwise. Each destination
+// element is summed in strict left-to-right source order —
+// ((dst[i] + srcs[0][i]) + srcs[1][i]) + … — so the result is a function of
+// the argument order alone, never of how many goroutines produced the
+// sources. This is the deterministic gradient-reduction kernel of the
+// data-parallel trainer: per-shard gradient ParamSets are reduced into the
+// shared optimizer state in fixed shard order, which is what makes training
+// results invariant under the worker count. Sources are streamed in pairs so
+// each destination element is loaded once per source pair.
+func AddVecsInto(dst Vec, srcs ...Vec) {
+	for _, s := range srcs {
+		if len(s) != len(dst) {
+			panic(fmt.Sprintf("tensor: AddVecsInto length mismatch %d vs %d", len(dst), len(s)))
+		}
+	}
+	k := 0
+	for ; k+2 <= len(srcs); k += 2 {
+		s0, s1 := srcs[k], srcs[k+1]
+		s1 = s1[:len(s0)]
+		for i, v := range s0 {
+			// Left-to-right: (dst + s0) + s1 — the canonical ordered sum.
+			dst[i] = dst[i] + v + s1[i]
+		}
+	}
+	if k < len(srcs) {
+		AddTo(dst, srcs[k])
+	}
+}
+
 // Scale computes dst *= alpha elementwise.
 func Scale(dst Vec, alpha float64) {
 	for i := range dst {

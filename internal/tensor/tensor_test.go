@@ -179,6 +179,57 @@ func TestScaleAddScaled(t *testing.T) {
 	}
 }
 
+// TestAddVecsInto pins the reduction kernel's ordered-sum contract: for any
+// source count (covering the pair-blocked loop and its odd remainder), the
+// result must be bit-identical to the strict left-to-right accumulation
+// dst += s0; dst += s1; … — the order the data-parallel gradient reduction
+// relies on for worker-count-invariant training.
+func TestAddVecsInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const n = 37
+	for _, k := range []int{0, 1, 2, 3, 4, 5, 8} {
+		srcs := make([]Vec, k)
+		for s := range srcs {
+			srcs[s] = NewVec(n)
+			for i := range srcs[s] {
+				srcs[s][i] = rng.NormFloat64()
+			}
+		}
+		got := NewVec(n)
+		want := NewVec(n)
+		for i := 0; i < n; i++ {
+			got[i] = rng.NormFloat64()
+			want[i] = got[i]
+		}
+		AddVecsInto(got, srcs...)
+		for _, s := range srcs {
+			AddTo(want, s)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("k=%d: AddVecsInto[%d] = %g, ordered reference = %g", k, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func BenchmarkAddVecsInto(b *testing.B) {
+	const n = 4096
+	srcs := make([]Vec, 4)
+	for s := range srcs {
+		srcs[s] = NewVec(n)
+		for i := range srcs[s] {
+			srcs[s][i] = float64(s*n + i)
+		}
+	}
+	dst := NewVec(n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AddVecsInto(dst, srcs...)
+	}
+}
+
 func TestInitDistributions(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	m := NewMat(64, 64)

@@ -39,6 +39,20 @@ for doc in README.md ARCHITECTURE.md PERFORMANCE.md; do
     done
 done
 
+# Required sections: each runtime layer documents itself under a stable
+# heading; a rename or deletion silently orphans the cross-references the
+# other docs and ROADMAP make to these sections.
+require_section() {
+    if ! grep -q "^#.*$2" "$1"; then
+        echo "$1 missing required section: $2"
+        status=1
+    fi
+}
+require_section PERFORMANCE.md "Batched training runtime"
+require_section PERFORMANCE.md "Hot-swap serving runtime"
+require_section PERFORMANCE.md "Data-parallel training runtime"
+require_section ARCHITECTURE.md "Runtime layers"
+
 if [ "$status" -ne 0 ]; then
     echo "check_docs: FAILED — fix the stale references above"
 else
