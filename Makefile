@@ -29,11 +29,12 @@ check: build vet fmt-check test
 # Hot-path microbenchmarks: the per-plan forward runtime, the batch
 # serving/training runtime (sequential TrainEpoch/TrainEpochBatched and the
 # data-parallel BenchmarkTrainEpochParallel shard variants), the memory pool
-# read path, the hot-swap serving runtime, and the tensor kernels underneath
-# them.
+# read path, the hot-swap serving runtime (full-copy BenchmarkPublish vs
+# BenchmarkPublishDelta, continuous-loop BenchmarkFitParallel), and the
+# tensor kernels underneath them.
 bench:
 	$(GO) test ./internal/core/ -run xxx \
-		-bench 'BenchmarkForwardSingle|BenchmarkForwardPooled|BenchmarkPoolGetParallel|BenchmarkEstimateBatch|BenchmarkTrainEpoch|BenchmarkTrainEpochParallel|BenchmarkPublish|BenchmarkServer' \
+		-bench 'BenchmarkForwardSingle|BenchmarkForwardPooled|BenchmarkPoolGetParallel|BenchmarkEstimateBatch|BenchmarkTrainEpoch|BenchmarkTrainEpochParallel|BenchmarkPublish|BenchmarkServer|BenchmarkFitParallel' \
 		-benchmem -benchtime=1s
 	$(GO) test ./internal/tensor/ -run xxx -bench . -benchmem -benchtime=1s
 

@@ -1,6 +1,9 @@
 package core
 
 import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
 	"io"
 	"math/rand"
 	"sync"
@@ -87,9 +90,73 @@ func (m *Model) embedDim() int { return m.eOp + m.eMeta + m.eBm + m.ePred }
 // NumParams returns the number of scalar parameters.
 func (m *Model) NumParams() int { return m.PS.NumParams() }
 
-// Save serializes model weights (normalizers excluded; persist Config and
-// normalizers alongside when checkpointing end-to-end).
-func (m *Model) Save(w io.Writer) error { return m.PS.Save(w) }
+// modelMagic prefixes versioned checkpoint files. Legacy files (written
+// before checkpoints carried a header) start directly with the gob stream of
+// the parameter payload and are still readable; they simply lack normalizer
+// state.
+const modelMagic = "COSTESTM"
 
-// Load restores weights saved by Save into an identically configured model.
-func (m *Model) Load(r io.Reader) error { return m.PS.Load(r) }
+// modelCheckpointVersion is the current checkpoint format version. Version 2
+// added the header itself with the cost/cardinality target normalizers;
+// version 1 is the headerless legacy format.
+const modelCheckpointVersion = 2
+
+// modelHeader is the versioned checkpoint header: everything a round-tripped
+// model needs beyond the weights to reproduce bit-identical estimates. The
+// target normalizers used to be silently dropped, leaving a loaded model
+// misestimating until FitNormalizers was re-run.
+type modelHeader struct {
+	Version  int
+	CostNorm nn.Normalizer
+	CardNorm nn.Normalizer
+}
+
+// Save serializes a versioned checkpoint: a magic prefix, a header carrying
+// the target normalizers, then the parameter values. Weights and normalizers
+// round-trip; Config and the feature encoder are construction-time inputs
+// and must still be persisted alongside by the caller.
+func (m *Model) Save(w io.Writer) error {
+	if _, err := io.WriteString(w, modelMagic); err != nil {
+		return fmt.Errorf("core: write checkpoint magic: %w", err)
+	}
+	enc := gob.NewEncoder(w)
+	hdr := modelHeader{Version: modelCheckpointVersion, CostNorm: m.CostNorm, CardNorm: m.CardNorm}
+	if err := enc.Encode(hdr); err != nil {
+		return fmt.Errorf("core: encode checkpoint header: %w", err)
+	}
+	return m.PS.EncodeGob(enc)
+}
+
+// Load restores a checkpoint saved by Save into an identically configured
+// model, including the target normalizers, so a round-tripped model
+// estimates bit-identically with no FitNormalizers re-run. Files written by
+// the headerless legacy format still load (weights only — the caller keeps
+// owning normalizer state for those, as before). Mismatched or truncated
+// payloads return an error without silently corrupting weights.
+func (m *Model) Load(r io.Reader) error {
+	br := bufio.NewReader(r)
+	prefix, err := br.Peek(len(modelMagic))
+	if err != nil || string(prefix) != modelMagic {
+		// Legacy headerless checkpoint: the stream is the bare parameter
+		// payload. (A file shorter than the magic can only be a corrupt or
+		// legacy stream; the param decode produces the descriptive error.)
+		return m.PS.Load(br)
+	}
+	if _, err := br.Discard(len(modelMagic)); err != nil {
+		return fmt.Errorf("core: read checkpoint magic: %w", err)
+	}
+	dec := gob.NewDecoder(br)
+	var hdr modelHeader
+	if err := dec.Decode(&hdr); err != nil {
+		return fmt.Errorf("core: decode checkpoint header: %w", err)
+	}
+	if hdr.Version < 2 || hdr.Version > modelCheckpointVersion {
+		return fmt.Errorf("core: unsupported checkpoint version %d (supported: 2..%d)",
+			hdr.Version, modelCheckpointVersion)
+	}
+	if err := m.PS.DecodeGob(dec); err != nil {
+		return err
+	}
+	m.CostNorm, m.CardNorm = hdr.CostNorm, hdr.CardNorm
+	return nil
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestModelCheckpointRoundTrip is the persistence acceptance gate: for every
+// architecture variant, a trained model saved and loaded into a freshly
+// constructed model (normalizers deliberately NOT copied by hand) must
+// produce bit-identical estimates — the versioned checkpoint header carries
+// the target normalizers, so no FitNormalizers re-run is needed.
+func TestModelCheckpointRoundTrip(t *testing.T) {
+	eps := benchCorpus(t, 10)
+	for _, variant := range sessionVariants {
+		cfg := TestConfig()
+		variant.mod(&cfg)
+		m := New(cfg, testEnc)
+		tr := NewTrainer(m)
+		tr.FitNormalizers(eps)
+		tr.TrainEpochBatched(eps, 4, 1)
+
+		var buf bytes.Buffer
+		if err := m.Save(&buf); err != nil {
+			t.Fatalf("%s: save: %v", variant.name, err)
+		}
+		m2 := New(cfg, testEnc) // default normalizers; Load must restore them
+		if err := m2.Load(&buf); err != nil {
+			t.Fatalf("%s: load: %v", variant.name, err)
+		}
+		if m2.CostNorm != m.CostNorm || m2.CardNorm != m.CardNorm {
+			t.Fatalf("%s: normalizers did not round-trip: cost %+v vs %+v, card %+v vs %+v",
+				variant.name, m2.CostNorm, m.CostNorm, m2.CardNorm, m.CardNorm)
+		}
+		for i, ep := range eps {
+			c1, d1 := m.Estimate(ep)
+			c2, d2 := m2.Estimate(ep)
+			if c1 != c2 || d1 != d2 {
+				t.Fatalf("%s plan %d: loaded model estimates (%g,%g), original (%g,%g)",
+					variant.name, i, c2, d2, c1, d1)
+			}
+		}
+	}
+}
+
+// TestModelLoadLegacyFormat keeps old checkpoint files readable: a stream
+// written by the headerless parameter-only format (ParamSet.Save, what
+// Model.Save used to emit) still loads the weights; normalizer state stays
+// with the caller, exactly as before.
+func TestModelLoadLegacyFormat(t *testing.T) {
+	eps := benchCorpus(t, 8)
+	cfg := TestConfig()
+	m := New(cfg, testEnc)
+	tr := NewTrainer(m)
+	tr.FitNormalizers(eps)
+	tr.TrainEpochBatched(eps, 4, 1)
+
+	var legacy bytes.Buffer
+	if err := m.PS.Save(&legacy); err != nil { // the pre-header wire format
+		t.Fatal(err)
+	}
+	m2 := New(cfg, testEnc)
+	defCost, defCard := m2.CostNorm, m2.CardNorm
+	if err := m2.Load(&legacy); err != nil {
+		t.Fatalf("legacy load: %v", err)
+	}
+	if m2.CostNorm != defCost || m2.CardNorm != defCard {
+		t.Fatal("legacy load touched normalizers (legacy files carry none)")
+	}
+	m2.CostNorm, m2.CardNorm = m.CostNorm, m.CardNorm
+	for i, ep := range eps {
+		c1, d1 := m.Estimate(ep)
+		c2, d2 := m2.Estimate(ep)
+		if c1 != c2 || d1 != d2 {
+			t.Fatalf("plan %d: legacy-loaded estimates (%g,%g), original (%g,%g)", i, c2, d2, c1, d1)
+		}
+	}
+}
+
+// TestModelLoadErrors drives the corrupt-input paths: truncated headers,
+// truncated parameter payloads, garbage bytes and checkpoints from a
+// differently dimensioned model must all fail with an error and leave the
+// receiving model's weights and estimates untouched.
+func TestModelLoadErrors(t *testing.T) {
+	eps := benchCorpus(t, 6)
+	cfg := TestConfig()
+	src := New(cfg, testEnc)
+	tr := NewTrainer(src)
+	tr.FitNormalizers(eps)
+	tr.TrainEpochBatched(eps, 4, 1)
+	var good bytes.Buffer
+	if err := src.Save(&good); err != nil {
+		t.Fatal(err)
+	}
+	full := good.Bytes()
+
+	type est struct{ cost, card float64 }
+	target := New(cfg, testEnc)
+	before := make([]est, len(eps))
+	for i, ep := range eps {
+		c, d := target.Estimate(ep)
+		before[i] = est{c, d}
+	}
+	checkUntouched := func(label string) {
+		t.Helper()
+		for i, ep := range eps {
+			c, d := target.Estimate(ep)
+			if c != before[i].cost || d != before[i].card {
+				t.Fatalf("%s: failed load mutated the model (plan %d)", label, i)
+			}
+		}
+	}
+
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"truncated-magic", full[:4]},
+		{"truncated-header", full[:len(modelMagic)+3]},
+		{"truncated-params", full[:len(full)*3/4]},
+		{"garbage", []byte("COSTESTMnot a gob stream at all....")},
+	}
+	for _, tc := range cases {
+		if err := target.Load(bytes.NewReader(tc.data)); err == nil {
+			t.Fatalf("%s: Load succeeded on corrupt input", tc.name)
+		}
+		checkUntouched(tc.name)
+	}
+
+	// A checkpoint from a differently dimensioned model: shape mismatch.
+	bigCfg := cfg
+	bigCfg.Hidden *= 2
+	big := New(bigCfg, testEnc)
+	var bigBuf bytes.Buffer
+	if err := big.Save(&bigBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := target.Load(&bigBuf); err == nil {
+		t.Fatal("Load succeeded across mismatched model dimensions")
+	}
+	checkUntouched("dim-mismatch")
+
+	// A checkpoint from a different architecture (different parameter set).
+	lstmCfg := cfg
+	lstmCfg.Pred = PredLSTM
+	other := New(lstmCfg, testEnc)
+	var otherBuf bytes.Buffer
+	if err := other.Save(&otherBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := target.Load(&otherBuf); err == nil {
+		t.Fatal("Load succeeded across mismatched architectures")
+	}
+	checkUntouched("arch-mismatch")
+
+	// After all the failures, the good checkpoint still loads.
+	if err := target.Load(bytes.NewReader(full)); err != nil {
+		t.Fatalf("good checkpoint failed after corrupt attempts: %v", err)
+	}
+	for i, ep := range eps {
+		c, d := target.Estimate(ep)
+		sc, sd := src.Estimate(ep)
+		if c != sc || d != sd {
+			t.Fatalf("plan %d: recovered load disagrees with source", i)
+		}
+	}
+}

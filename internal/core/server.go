@@ -31,14 +31,29 @@ type Server struct {
 	cur  atomic.Pointer[ModelSnapshot]
 	pool *MemoryPool
 
-	// pubMu serializes publishers; readers are lock-free.
+	// pubMu serializes publishers and makes each publication atomic: the
+	// snapshot build, the pool-generation bump and the snapshot install
+	// happen as one unit, so racing publishers can never interleave a
+	// version install with an older generation bump. Readers are lock-free.
 	pubMu sync.Mutex
 
+	// delta is the delta-publication state (lazily initialized by the first
+	// PublishDelta, reset when the source model changes); guarded by pubMu.
+	delta *deltaPub
+
 	// prewarm tracks the hottest served plans for post-publish pool
-	// pre-warming (nil when disabled); prewarmMu serializes background
-	// replays so they never pile up across rapid publishes.
+	// pre-warming (nil when disabled); prewarmMu serializes replays so they
+	// never pile up across rapid publishes, and prewarmed records the last
+	// version replayed so a foreground PrewarmNow and the background
+	// post-publish replay of the same version don't run twice.
 	prewarm   atomic.Pointer[hotTracker]
 	prewarmMu sync.Mutex
+	prewarmed atomic.Uint64
+	// prewarmPending is true while a background replay worker is alive; a
+	// publish only spawns a worker when it flips this false→true, so rapid
+	// publication (per-minibatch delta) kicks one coalescing worker instead
+	// of piling a goroutine per publish onto prewarmMu.
+	prewarmPending atomic.Bool
 
 	sessions      sync.Pool
 	batchSessions sync.Pool
@@ -118,10 +133,53 @@ func NewServer(m *Model, pool *MemoryPool) *Server {
 	return srv
 }
 
-// Snapshot returns the currently served snapshot. Callers may hold it
-// indefinitely (for replay, validation, or shadow scoring); it never
-// changes under them.
-func (srv *Server) Snapshot() *ModelSnapshot { return srv.cur.Load() }
+// Snapshot returns the currently served snapshot, pinned: callers may hold
+// it indefinitely (for replay, validation, or shadow scoring); it never
+// changes under them, even when the server publishes deltas (pinning
+// excludes the snapshot's buffers from recycling).
+func (srv *Server) Snapshot() *ModelSnapshot {
+	for {
+		s := srv.cur.Load()
+		s.Pin()
+		// Re-check after pinning: a racing PublishDelta could have retired
+		// and reclaimed s between the load and the pin. Pinning a reclaimed
+		// snapshot is harmless (its slot pointer is already gone); the
+		// retry returns a snapshot whose pin is guaranteed to have landed
+		// before any reclaim decision.
+		if srv.cur.Load() == s {
+			return s
+		}
+	}
+}
+
+// acquire checks the current snapshot out for one request. Full-copy
+// snapshots are frozen forever, so the common non-delta path is the same
+// single atomic load it has always been. Delta-backed snapshots are
+// ref-counted: the count guarantees a delta publish never recycles their
+// buffers mid-request, and the load/ref/re-check loop closes the race with
+// a publisher that retires the snapshot between the load and the ref — a
+// reader that loses the race releases and retries, never touching the
+// stale snapshot's weights.
+func (srv *Server) acquire() *ModelSnapshot {
+	for {
+		s := srv.cur.Load()
+		if !s.deltaBacked {
+			return s
+		}
+		s.refs.Add(1)
+		if srv.cur.Load() == s {
+			return s
+		}
+		s.refs.Add(-1)
+	}
+}
+
+// release returns a snapshot checked out by acquire.
+func (srv *Server) release(s *ModelSnapshot) {
+	if s.deltaBacked {
+		s.refs.Add(-1)
+	}
+}
 
 // Version returns the currently served snapshot version.
 func (srv *Server) Version() uint64 { return srv.cur.Load().version }
@@ -129,28 +187,89 @@ func (srv *Server) Version() uint64 { return srv.cur.Load().version }
 // Pool returns the server's memory pool (nil when serving uncached).
 func (srv *Server) Pool() *MemoryPool { return srv.pool }
 
-// Publish atomically installs a copy of m's current weights as the next
-// snapshot and advances the pool generation, logically invalidating every
-// pooled representation computed under older weights. It returns the new
-// snapshot. The weight copy reads m on the calling goroutine: call from
-// the goroutine that trains m (between optimizer steps), or with training
-// otherwise quiesced. Concurrent serving needs no quiescing — that is the
-// point.
+// Publish atomically installs a full copy of m's current weights as the
+// next snapshot and advances the pool generation, logically invalidating
+// every pooled representation computed under older weights. It returns the
+// new snapshot, which stays frozen forever. The weight copy reads m on the
+// calling goroutine: call from the goroutine that trains m (between
+// optimizer steps), or with training otherwise quiesced. Concurrent serving
+// needs no quiescing — that is the point.
 func (srv *Server) Publish(m *Model) *ModelSnapshot {
 	srv.pubMu.Lock()
+	defer srv.pubMu.Unlock()
 	snap := newSnapshot(m, srv.cur.Load().version+1)
-	srv.cur.Store(snap)
-	srv.pubMu.Unlock()
+	srv.install(snap)
+	return snap
+}
+
+// PublishDelta is Publish through the delta path: per-param dirty stamps
+// (nn.ParamSet) tell it which parameters moved since the target buffer set
+// was last synced, and only those are copied — between two publishes that
+// trained a handful of parameters, publication cost drops from a full
+// weight copy to the touched slice, making per-minibatch publication
+// affordable. Buffers double-buffer in steady state: the snapshot retired
+// by the previous publish drains its in-flight requests and is re-synced by
+// the next one. The returned snapshot is therefore only guaranteed frozen
+// until two further delta publishes — call Pin (or use Snapshot) to hold it
+// longer; served estimates are unaffected either way, since a buffer is
+// never recycled while a request or pin holds it.
+//
+// Delta and full publication interleave freely and produce bit-identical
+// snapshots; the first PublishDelta for a given source model (or after the
+// source changes) full-copies into a fresh buffer set. Like Publish, call
+// with training quiesced on m. Dirty tracking covers Adam steps,
+// ParamSet.Load and InitXavier; code that writes parameter values directly
+// must call nn.ParamSet.MarkAllUpdated first.
+func (srv *Server) PublishDelta(m *Model) *ModelSnapshot {
+	srv.pubMu.Lock()
+	defer srv.pubMu.Unlock()
+	if srv.delta == nil || srv.delta.src != m {
+		srv.delta = &deltaPub{src: m}
+	}
+	sl := srv.delta.takeSlot()
+	if sl == nil {
+		sl = newSlot(m)
+	}
+	srv.delta.lastCopied = sl.sync(m)
+	snap := &ModelSnapshot{version: srv.cur.Load().version + 1, model: sl.model, slot: sl, deltaBacked: true}
+	srv.install(snap)
+	return snap
+}
+
+// LastDeltaCopied reports how many parameters the most recent PublishDelta
+// copied (the rest were already current in the reused buffer set) — an
+// observability hook for tests and publication metrics.
+func (srv *Server) LastDeltaCopied() int {
+	srv.pubMu.Lock()
+	defer srv.pubMu.Unlock()
+	if srv.delta == nil {
+		return 0
+	}
+	return srv.delta.lastCopied
+}
+
+// install makes snap the served snapshot: generation bump first, then the
+// snapshot store, so a snapshot is never observable before the pool accepts
+// its generation; the retiring delta snapshot (if any) joins the drain list
+// for buffer reuse. Caller holds pubMu.
+func (srv *Server) install(snap *ModelSnapshot) {
 	if srv.pool != nil {
 		srv.pool.SetGeneration(snap.version)
-		if srv.prewarm.Load() != nil {
-			// Hide the post-swap stale transient from foreground requests:
-			// replay the hottest signatures through the new snapshot in the
-			// background, repopulating the pool at the new generation.
-			go srv.prewarmReplay(snap)
-		}
 	}
-	return snap
+	prev := srv.cur.Load()
+	srv.cur.Store(snap)
+	if prev != nil && prev.slot != nil && srv.delta != nil {
+		srv.delta.retired = append(srv.delta.retired, prev)
+	}
+	if srv.pool != nil && srv.prewarm.Load() != nil &&
+		srv.prewarmPending.CompareAndSwap(false, true) {
+		// Hide the post-swap stale transient from foreground requests:
+		// replay the hottest signatures through the new snapshot in the
+		// background, repopulating the pool at the new generation. At most
+		// one worker runs; publishes landing while it works are coalesced
+		// into its catch-up loop.
+		go srv.prewarmBackground()
+	}
 }
 
 // EnablePrewarm turns on post-publish pool pre-warming: the server tracks
@@ -173,24 +292,77 @@ func (srv *Server) EnablePrewarm(limit int) {
 // PrewarmNow replays the hottest tracked plans through the currently served
 // snapshot synchronously, returning how many were replayed — the foreground
 // form of the background pass Publish schedules (deterministic hooks for
-// tests and warm-up scripts).
+// tests and warm-up scripts). Concurrent publishes are safe: the replay
+// re-resolves the snapshot under the replay lock and verifies it against
+// the pool generation, so it can never warm the pool through weights older
+// than the generation it stamps.
 func (srv *Server) PrewarmNow() int {
-	return srv.prewarmReplay(srv.cur.Load())
+	return srv.prewarmReplay(0)
 }
 
-// prewarmReplay re-evaluates the hottest tracked plans against snap,
-// inserting their sub-plan representations into the pool at snap's
-// generation. Replays are serialized, and a replay whose snapshot has been
-// superseded is skipped (the newer publish scheduled its own).
-func (srv *Server) prewarmReplay(snap *ModelSnapshot) int {
+// prewarmBackground is the post-publish replay worker: it replays the
+// currently served version and loops until the replayed version has caught
+// up with the served one, coalescing every publish that landed while it
+// worked into a single catch-up pass. The prewarmPending handshake with
+// install guarantees at most one worker is ever replaying and that a
+// publish landing in the exit window re-kicks (its CompareAndSwap only
+// succeeds once this worker has cleared the flag and decided to exit).
+func (srv *Server) prewarmBackground() {
+	for {
+		if srv.prewarm.Load() == nil {
+			srv.prewarmPending.Store(false)
+			return // pre-warming was disabled mid-flight
+		}
+		cur := srv.cur.Load().version
+		if srv.prewarmed.Load() < cur {
+			srv.prewarmReplay(cur)
+		}
+		srv.prewarmPending.Store(false)
+		if srv.prewarmed.Load() >= srv.cur.Load().version {
+			return // caught up; the next publish kicks a fresh worker
+		}
+		if !srv.prewarmPending.CompareAndSwap(false, true) {
+			return // a racing publish already kicked its own worker
+		}
+	}
+}
+
+// prewarmReplay re-evaluates the hottest tracked plans against the
+// currently served snapshot, inserting their sub-plan representations into
+// the pool at that snapshot's generation. Replays are serialized, and two
+// guards close the racing-publish windows:
+//
+//   - wantVersion > 0 (a publish-scheduled replay) is skipped when the
+//     served snapshot has moved past it — the newer publish scheduled its
+//     own replay.
+//   - A replay only proceeds when the pool generation equals the resolved
+//     snapshot's version. A publish installs generation-then-snapshot, so a
+//     mismatch means an install is mid-flight; replaying would observe a
+//     generation older than the snapshot about to serve. The installer's
+//     own replay follows immediately.
+//
+// The snapshot is ref-acquired for the whole replay, so a delta publish can
+// never recycle its weight buffers mid-replay.
+func (srv *Server) prewarmReplay(wantVersion uint64) int {
 	tr := srv.prewarm.Load()
 	if tr == nil || srv.pool == nil {
 		return 0
 	}
 	srv.prewarmMu.Lock()
 	defer srv.prewarmMu.Unlock()
-	if srv.cur.Load() != snap {
+	snap := srv.acquire()
+	defer srv.release(snap)
+	if wantVersion != 0 && snap.version != wantVersion {
 		return 0
+	}
+	if srv.pool.Generation() != snap.version {
+		return 0
+	}
+	// The guards passed: this version is being handled, record it (under
+	// prewarmMu) even if nothing is tracked yet — the background worker's
+	// catch-up loop terminates on this mark, not on the replay size.
+	if srv.prewarmed.Load() < snap.version {
+		srv.prewarmed.Store(snap.version)
 	}
 	plans := tr.topPlans()
 	if len(plans) == 0 {
@@ -210,10 +382,11 @@ func (srv *Server) prewarmReplay(snap *ModelSnapshot) int {
 // snapshot version that produced them. The estimate is bit-identical to a
 // single-threaded evaluation of that version's weights.
 func (srv *Server) Estimate(ep *feature.EncodedPlan) (cost, card float64, version uint64) {
-	snap := srv.cur.Load()
+	snap := srv.acquire()
 	s := srv.session(snap)
 	cost, card = s.EstimateWithPool(ep, srv.pool)
 	srv.sessions.Put(s)
+	srv.release(snap)
 	if tr := srv.prewarm.Load(); tr != nil {
 		tr.track(ep)
 	}
@@ -227,8 +400,9 @@ func (srv *Server) Estimate(ep *feature.EncodedPlan) (cost, card float64, versio
 // by a single snapshot resolution, so every returned estimate belongs to
 // the same version.
 func (srv *Server) EstimateBatch(eps []*feature.EncodedPlan, workers int) ([]Estimate, uint64) {
-	snap := srv.cur.Load()
+	snap := srv.acquire()
 	if len(eps) == 0 {
+		srv.release(snap)
 		return nil, snap.version
 	}
 	s := srv.batchSession(snap)
@@ -236,6 +410,7 @@ func (srv *Server) EstimateBatch(eps []*feature.EncodedPlan, workers int) ([]Est
 	copy(out, s.EstimateBatchWithPool(eps, srv.pool, workers))
 	s.releasePlans()
 	srv.batchSessions.Put(s)
+	srv.release(snap)
 	if tr := srv.prewarm.Load(); tr != nil {
 		for _, ep := range eps {
 			tr.track(ep)

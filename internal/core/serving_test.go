@@ -468,3 +468,426 @@ func BenchmarkServerHotSwap(b *testing.B) {
 	b.ReportMetric(srv.Pool().StaleRate()*100, "stale%")
 	b.ReportMetric(srv.Pool().HitRate()*100, "hit%")
 }
+
+// TestPublishDeltaBitIdentical pins the delta-publication contract on the
+// sequential path: across rounds of training, every delta-published
+// snapshot's parameters must be bit-identical to a full copy taken at the
+// same point, normalizers included — and rounds that trained nothing must
+// copy nothing.
+func TestPublishDeltaBitIdentical(t *testing.T) {
+	eps := benchCorpus(t, 12)
+	cfg := TestConfig()
+	m := New(cfg, testEnc)
+	tr := NewTrainer(m)
+	tr.FitNormalizers(eps)
+	srv := NewServer(m, NewBoundedMemoryPool(512))
+
+	for round := 0; round < 5; round++ {
+		tr.TrainEpochBatched(eps, 8, 1)
+		snap := tr.PublishDelta(srv)
+		full := newSnapshot(m, snap.Version())
+		compareWeights(t, "delta vs full copy", snap.Model(), full.Model(), 0)
+		if snap.Model().CostNorm != m.CostNorm || snap.Model().CardNorm != m.CardNorm {
+			t.Fatalf("round %d: delta snapshot normalizers diverged", round)
+		}
+		if srv.Version() != snap.Version() || srv.cur.Load() != snap {
+			t.Fatalf("round %d: server does not serve the delta snapshot", round)
+		}
+		// Serving through the delta snapshot matches a single-threaded
+		// replay of the full copy.
+		ref := NewSession(full.Model())
+		for i, ep := range eps {
+			c, d, v := srv.Estimate(ep)
+			rc, rd := ref.Estimate(ep)
+			if v != snap.Version() || c != rc || d != rd {
+				t.Fatalf("round %d plan %d: delta-served (%g,%g) at v%d, full-copy replay (%g,%g)",
+					round, i, c, d, v, rc, rd)
+			}
+		}
+	}
+
+	// A publish with no intervening training copies zero parameters: the
+	// reused buffer set is already current.
+	trained := srv.LastDeltaCopied()
+	if trained == 0 {
+		t.Fatal("delta publish after training copied no parameters; tracking is broken")
+	}
+	tr.PublishDelta(srv)
+	tr.PublishDelta(srv) // second clean publish reuses an in-rotation slot
+	if n := srv.LastDeltaCopied(); n != 0 {
+		t.Fatalf("clean delta publish copied %d params, want 0", n)
+	}
+}
+
+// TestPublishDeltaReusesBuffers pins the double-buffer rotation: once two
+// delta snapshots exist and the older one has drained, the next publish
+// reuses its buffer set instead of allocating a third.
+func TestPublishDeltaReusesBuffers(t *testing.T) {
+	eps := benchCorpus(t, 8)
+	cfg := TestConfig()
+	m := New(cfg, testEnc)
+	tr := NewTrainer(m)
+	tr.FitNormalizers(eps)
+	srv := NewServer(m, nil)
+
+	s1 := tr.PublishDelta(srv) // fresh slot A
+	tr.TrainEpochBatched(eps, 8, 1)
+	s2 := tr.PublishDelta(srv) // fresh slot B (A still serving at publish time)
+	tr.TrainEpochBatched(eps, 8, 1)
+	s3 := tr.PublishDelta(srv) // A retired and drained -> reused
+	if s1.model == s2.model {
+		t.Fatal("consecutive delta snapshots share a live buffer set")
+	}
+	if s3.model != s1.model {
+		t.Fatal("third delta publish did not reuse the drained first slot")
+	}
+	// The recycled snapshot must carry the current weights bit for bit.
+	compareWeights(t, "recycled slot vs full copy", s3.Model(), newSnapshot(m, 0).Model(), 0)
+
+	// A pinned snapshot's buffers leave the rotation permanently.
+	tr.TrainEpochBatched(eps, 8, 1)
+	s4 := tr.PublishDelta(srv)
+	s4.Pin()
+	tr.TrainEpochBatched(eps, 8, 1)
+	s5 := tr.PublishDelta(srv)
+	tr.TrainEpochBatched(eps, 8, 1)
+	s6 := tr.PublishDelta(srv)
+	if s6.model == s4.model {
+		t.Fatal("pinned snapshot's buffers were recycled")
+	}
+	want := []struct{ c, d float64 }{}
+	for _, ep := range eps {
+		c, d := s4.Model().Estimate(ep)
+		want = append(want, struct{ c, d float64 }{c, d})
+	}
+	tr.TrainEpochBatched(eps, 8, 1)
+	tr.PublishDelta(srv)
+	tr.PublishDelta(srv)
+	for i, ep := range eps {
+		c, d := s4.Model().Estimate(ep)
+		if c != want[i].c || d != want[i].d {
+			t.Fatalf("pinned snapshot estimates moved after later delta publishes (plan %d)", i)
+		}
+	}
+	_ = s5
+}
+
+// TestSnapshotPinnedAcrossDeltaPublishes pins Server.Snapshot's contract in
+// delta mode: a snapshot handed out for indefinite retention keeps serving
+// the exact weights it was published with, no matter how many delta
+// publishes (and buffer recycles) happen afterwards.
+func TestSnapshotPinnedAcrossDeltaPublishes(t *testing.T) {
+	eps := benchCorpus(t, 10)
+	cfg := TestConfig()
+	m := New(cfg, testEnc)
+	tr := NewTrainer(m)
+	tr.FitNormalizers(eps)
+	srv := NewServer(m, nil)
+	tr.TrainEpochBatched(eps, 8, 1)
+	tr.PublishDelta(srv)
+
+	held := srv.Snapshot() // pinned
+	type est struct{ cost, card float64 }
+	before := make([]est, len(eps))
+	for i, ep := range eps {
+		c, d := held.Model().Estimate(ep)
+		before[i] = est{c, d}
+	}
+	for round := 0; round < 4; round++ {
+		tr.TrainEpochBatched(eps, 8, 1)
+		tr.PublishDelta(srv)
+	}
+	for i, ep := range eps {
+		c, d := held.Model().Estimate(ep)
+		if c != before[i].cost || d != before[i].card {
+			t.Fatalf("pinned snapshot estimate moved: plan %d (%g,%g) -> (%g,%g)",
+				i, before[i].cost, before[i].card, c, d)
+		}
+	}
+}
+
+// TestPublishDeltaSingleTaskSkipsCleanHead exercises the natural sparse
+// case: a single-task cost model never gradients its cardinality head, so
+// after the first sync those parameters are never copied again — the delta
+// path provably does less work than a full copy.
+func TestPublishDeltaSingleTaskSkipsCleanHead(t *testing.T) {
+	eps := benchCorpus(t, 12)
+	cfg := TestConfig()
+	cfg.Target = TargetCost
+	m := New(cfg, testEnc)
+	tr := NewTrainer(m)
+	tr.FitNormalizers(eps)
+	srv := NewServer(m, nil)
+
+	tr.TrainEpochBatched(eps, 8, 1)
+	tr.PublishDelta(srv)
+	first := srv.LastDeltaCopied()
+	tr.TrainEpochBatched(eps, 8, 1)
+	tr.TrainEpochBatched(eps, 8, 1)
+	tr.PublishDelta(srv) // second slot, full copy
+	tr.TrainEpochBatched(eps, 8, 1)
+	tr.PublishDelta(srv) // recycled slot: delta from here on
+	steady := srv.LastDeltaCopied()
+	total := len(m.PS.Params())
+	if first != total {
+		t.Fatalf("first sync copied %d/%d params, want all", first, total)
+	}
+	if steady >= total {
+		t.Fatalf("steady-state delta copied all %d params; the clean card head should be skipped", steady)
+	}
+	// The skipped parameters are exactly the never-trained cardinality head.
+	full := newSnapshot(m, 0)
+	compareWeights(t, "single-task delta", srv.Snapshot().Model(), full.Model(), 0)
+}
+
+// TestServerDeltaHotSwapConcurrentBitIdentical is the delta twin of the
+// full-copy acceptance gate, meant to run under -race: the trainer retrains
+// and delta-publishes after every epoch — rotating and recycling snapshot
+// buffers — while serving goroutines hammer the pooled single-plan and
+// batch paths. At every publish the trainer also takes a private full copy;
+// every served estimate is replayed against the full copy of the version
+// that served it and must match bit for bit. Buffer recycling is what makes
+// this non-trivial: a recycle racing an in-flight request would tear the
+// request's weights, and the ref-count protocol must prevent it.
+func TestServerDeltaHotSwapConcurrentBitIdentical(t *testing.T) {
+	eps := benchCorpus(t, 12)
+	cfg := TestConfig()
+	m := New(cfg, testEnc)
+	tr := NewTrainer(m)
+	tr.FitNormalizers(eps)
+	srv := NewServer(m, NewBoundedMemoryPool(256))
+
+	const epochs = 6
+	const servers = 3
+
+	type est struct{ cost, card float64 }
+	var mu sync.Mutex
+	refs := map[uint64][]est{}
+	snapRef := func(v uint64) { // full-copy reference, trainer goroutine
+		full := newSnapshot(m, v)
+		ref := NewSession(full.Model())
+		es := make([]est, len(eps))
+		for i, ep := range eps {
+			c, d := ref.Estimate(ep)
+			es[i] = est{c, d}
+		}
+		mu.Lock()
+		refs[v] = es
+		mu.Unlock()
+	}
+	snapRef(1)
+
+	var seen [servers]atomic.Uint64
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // trainer: retrain, delta-publish, reference-copy
+		defer wg.Done()
+		defer close(done)
+		for e := 0; e < epochs; e++ {
+			tr.TrainEpochBatched(eps, 8, 2)
+			snap := tr.PublishDelta(srv)
+			snapRef(snap.Version())
+			for w := 0; w < servers; w++ {
+				for seen[w].Load() < snap.Version() {
+					runtime.Gosched()
+				}
+			}
+		}
+	}()
+
+	obs := make([][]servedObs, servers)
+	for w := 0; w < servers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var local []servedObs
+			for k := 0; ; k++ {
+				i := (w*5 + k) % len(eps)
+				c, d, v := srv.Estimate(eps[i])
+				local = append(local, servedObs{plan: i, version: v, cost: c, card: d})
+				ests, bv := srv.EstimateBatch(eps, 2)
+				for j, e := range ests {
+					local = append(local, servedObs{plan: j, version: bv, cost: e.Cost, card: e.Card})
+				}
+				if bv > seen[w].Load() {
+					seen[w].Store(bv)
+				}
+				select {
+				case <-done:
+					obs[w] = local
+					return
+				default:
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	served := 0
+	versions := map[uint64]int{}
+	for w := range obs {
+		for _, o := range obs[w] {
+			ref, known := refs[o.version]
+			if !known {
+				t.Fatalf("served version %d was never published", o.version)
+			}
+			if o.cost != ref[o.plan].cost || o.card != ref[o.plan].card {
+				t.Fatalf("version %d plan %d: delta-served (%g,%g), full-copy replay (%g,%g)",
+					o.version, o.plan, o.cost, o.card, ref[o.plan].cost, ref[o.plan].card)
+			}
+			served++
+			versions[o.version]++
+		}
+	}
+	if served == 0 {
+		t.Fatal("no estimates served")
+	}
+	if len(versions) != epochs+1 {
+		t.Fatalf("served %d distinct versions, want %d", len(versions), epochs+1)
+	}
+	t.Logf("replayed %d delta-served estimates across %d versions (counts: %v)",
+		served, len(versions), versions)
+}
+
+// TestPublishPrewarmRace is the regression test for racing publishes against
+// foreground pre-warm replays, meant to run under -race: one goroutine
+// retrains and publishes, another hammers PrewarmNow, while servers keep
+// estimating. The replay guard must ensure a pre-warm only ever runs when
+// the pool generation equals the version of the snapshot it replays — so
+// pre-warmed entries always carry the generation of the weights that
+// computed them, and every served estimate stays bit-identical to its
+// version's replay even with warm pool hits in the mix.
+func TestPublishPrewarmRace(t *testing.T) {
+	eps := benchCorpus(t, 12)
+	cfg := TestConfig()
+	m := New(cfg, testEnc)
+	tr := NewTrainer(m)
+	tr.FitNormalizers(eps)
+	srv := NewServer(m, NewBoundedMemoryPool(1024))
+	srv.EnablePrewarm(6)
+	for k := 0; k < 4; k++ { // build hotness before the storm
+		for _, ep := range eps {
+			srv.Estimate(ep)
+		}
+	}
+
+	const epochs = 5
+	var mu sync.Mutex
+	snaps := map[uint64]*ModelSnapshot{1: srv.Snapshot()}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // trainer/publisher
+		defer wg.Done()
+		defer close(done)
+		for e := 0; e < epochs; e++ {
+			tr.TrainEpochBatched(eps, 8, 1)
+			snap := tr.Publish(srv)
+			mu.Lock()
+			snaps[snap.Version()] = snap
+			mu.Unlock()
+			runtime.Gosched()
+		}
+	}()
+	wg.Add(1)
+	go func() { // foreground pre-warm hammer
+		defer wg.Done()
+		for {
+			srv.PrewarmNow()
+			select {
+			case <-done:
+				return
+			default:
+			}
+		}
+	}()
+	obs := make([][]servedObs, 2)
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var local []servedObs
+			for k := 0; ; k++ {
+				i := (w + k) % len(eps)
+				c, d, v := srv.Estimate(eps[i])
+				local = append(local, servedObs{plan: i, version: v, cost: c, card: d})
+				select {
+				case <-done:
+					obs[w] = local
+					return
+				default:
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Drain the last publish's background replay before replaying versions.
+	srv.PrewarmNow()
+
+	type est struct{ cost, card float64 }
+	refsByV := map[uint64][]est{}
+	for v, snap := range snaps {
+		ref := NewSession(snap.Model())
+		es := make([]est, len(eps))
+		for i, ep := range eps {
+			c, d := ref.Estimate(ep)
+			es[i] = est{c, d}
+		}
+		refsByV[v] = es
+	}
+	for w := range obs {
+		for _, o := range obs[w] {
+			ref, known := refsByV[o.version]
+			if !known {
+				t.Fatalf("served version %d was never published", o.version)
+			}
+			if o.cost != ref[o.plan].cost || o.card != ref[o.plan].card {
+				t.Fatalf("version %d plan %d: served (%g,%g) under pre-warm storm, replay (%g,%g)",
+					o.version, o.plan, o.cost, o.card, ref[o.plan].cost, ref[o.plan].card)
+			}
+		}
+	}
+}
+
+// BenchmarkPublishDelta measures delta publication at default model
+// dimensions against the full-copy BenchmarkPublish baseline. clean is the
+// steady-state floor — nothing trained between publishes, so the reused
+// buffer set is already current and zero parameters are copied; afterEpoch
+// pays one full training epoch's dirty set (at epoch cadence every
+// parameter moves, so it bounds the delta path's overhead from above).
+func BenchmarkPublishDelta(b *testing.B) {
+	eps := benchCorpus(b, 4)
+	cfg := DefaultConfig()
+
+	b.Run("clean", func(b *testing.B) {
+		m := New(cfg, testEnc)
+		tr := NewTrainer(m)
+		tr.FitNormalizers(eps)
+		srv := NewServer(m, NewBoundedMemoryPool(4096))
+		tr.PublishDelta(srv)
+		tr.PublishDelta(srv)
+		tr.PublishDelta(srv) // rotation warm: both slots synced
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			srv.PublishDelta(m)
+		}
+	})
+	b.Run("afterEpoch", func(b *testing.B) {
+		m := New(cfg, testEnc)
+		tr := NewTrainer(m)
+		tr.FitNormalizers(eps)
+		srv := NewServer(m, NewBoundedMemoryPool(4096))
+		tr.PublishDelta(srv)
+		tr.PublishDelta(srv)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			tr.TrainEpochBatched(eps, 4, 1)
+			b.StartTimer()
+			srv.PublishDelta(m)
+		}
+	})
+}

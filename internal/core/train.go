@@ -160,6 +160,15 @@ func (t *Trainer) Publish(srv *Server) *ModelSnapshot {
 	return srv.Publish(t.M)
 }
 
+// PublishDelta is Publish through the delta-publication path: only the
+// parameters the optimizer touched since the target snapshot buffers were
+// last synced are copied (see Server.PublishDelta), which makes publication
+// cheap enough to run per minibatch. Call from the training goroutine, like
+// Publish.
+func (t *Trainer) PublishDelta(srv *Server) *ModelSnapshot {
+	return srv.PublishDelta(t.M)
+}
+
 // accumulate runs forward + backward for one sample, returning its loss.
 func (t *Trainer) accumulate(ep *feature.EncodedPlan) float64 {
 	t.sess.forwardTrain(ep)
@@ -240,12 +249,16 @@ func (m *Model) ValidationError(samples []*feature.EncodedPlan) (costQ, cardQ fl
 	return costQ / n, cardQ / n
 }
 
-// EpochStats reports one training epoch's outcome.
+// EpochStats reports one training epoch's outcome. Published carries the
+// snapshot version an auto-publishing ParallelTrainer.Fit installed after
+// the epoch (0 when nothing was published — the gate rejected the epoch or
+// no publish hook is configured).
 type EpochStats struct {
 	Epoch     int
 	TrainLoss float64
 	ValidCost float64
 	ValidCard float64
+	Published uint64
 }
 
 // Fit trains for the given number of epochs, reporting per-epoch validation

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"sync"
 
 	"costest/internal/feature"
@@ -58,6 +59,31 @@ type ParallelTrainer struct {
 	// Built once so the per-minibatch reduction is allocation-free.
 	mainGrads []tensor.Vec
 	gradSrcs  [][]tensor.Vec
+
+	// pub is the auto-publish hook (nil when disabled): pubSrv receives the
+	// snapshots, pubOpts selects gating/delta/per-minibatch cadence,
+	// pubSteps counts optimizer steps since the last mid-epoch publish and
+	// pubBest tracks the best published validation error for the gate.
+	pubSrv   *Server
+	pubOpts  AutoPublishOptions
+	pubSteps int
+	pubBest  float64
+}
+
+// AutoPublishOptions configures the publish hook of ParallelTrainer.Fit.
+type AutoPublishOptions struct {
+	// Gated publishes after an epoch only when its combined validation
+	// q-error (cost + card) improves on the best previously published
+	// epoch; ungated publishes after every epoch.
+	Gated bool
+	// Delta routes epoch publishes through Server.PublishDelta instead of
+	// the full-copy Publish.
+	Delta bool
+	// EveryBatches > 0 additionally publishes mid-epoch after every N
+	// optimizer steps — always through the delta path, which is what makes
+	// per-minibatch cadence affordable. Mid-epoch publishes are not gated
+	// (there is no validation signal between minibatches).
+	EveryBatches int
 }
 
 // trainWorker is one shard's long-lived state: a shadow model whose
@@ -91,6 +117,59 @@ func NewParallelTrainer(m *Model, shards int) *ParallelTrainer {
 
 // Shards returns the fixed data-parallel width.
 func (pt *ParallelTrainer) Shards() int { return pt.shards }
+
+// AutoPublish installs srv as the trainer's publication target: Fit
+// publishes after qualifying epochs (see AutoPublishOptions), and with
+// EveryBatches > 0 TrainEpochParallel delta-publishes mid-epoch every N
+// optimizer steps. Pass a nil server to disable. The hook publishes from
+// the training goroutine between optimizer steps, so the weight reads never
+// race an update — the same contract as calling Publish by hand.
+func (pt *ParallelTrainer) AutoPublish(srv *Server, opts AutoPublishOptions) {
+	pt.pubSrv = srv
+	pt.pubOpts = opts
+	pt.pubSteps = 0
+	pt.pubBest = math.Inf(1)
+}
+
+// Fit trains for the given number of epochs through the data-parallel
+// runtime, mirroring Trainer.Fit: normalizers are fitted on the training
+// set, each epoch runs shuffled minibatches (sharded across the trainer's
+// workers, concurrency capped by workers), and validation q-errors are
+// reported per epoch through cb (which may be nil). With shards = 1 the
+// epoch schedule degenerates to TrainEpochBatched, so per-epoch losses
+// match Trainer.Fit to floating-point reassociation; more shards
+// reassociate gradient sums across shard boundaries only.
+//
+// When AutoPublish has been configured, each epoch's stats drive the hook:
+// ungated, every epoch publishes; gated, only epochs improving the best
+// published combined validation q-error do. The installed version is
+// recorded in the returned stats. Fit returns the stats history — the data
+// behind the paper's validation-error curves (Figures 7 and 8).
+func (pt *ParallelTrainer) Fit(train, valid []*feature.EncodedPlan, epochs, batchSize, workers int,
+	cb func(EpochStats)) []EpochStats {
+	pt.FitNormalizers(train)
+	history := make([]EpochStats, 0, epochs)
+	for e := 0; e < epochs; e++ {
+		loss := pt.TrainEpochParallel(train, batchSize, workers)
+		vc, vd := pt.M.ValidationError(valid)
+		st := EpochStats{Epoch: e, TrainLoss: loss, ValidCost: vc, ValidCard: vd}
+		if pt.pubSrv != nil && (!pt.pubOpts.Gated || vc+vd < pt.pubBest) {
+			var snap *ModelSnapshot
+			if pt.pubOpts.Delta {
+				snap = pt.pubSrv.PublishDelta(pt.M)
+			} else {
+				snap = pt.pubSrv.Publish(pt.M)
+			}
+			pt.pubBest = vc + vd
+			st.Published = snap.Version()
+		}
+		history = append(history, st)
+		if cb != nil {
+			cb(st)
+		}
+	}
+	return history
+}
 
 // Close shuts the worker goroutines down. The trainer remains usable — its
 // sequential TrainEpoch/TrainEpochBatched paths are untouched, and a later
@@ -268,5 +347,17 @@ func (pt *ParallelTrainer) stepParallel(batch []*feature.EncodedPlan) float64 {
 	}
 	pt.M.PS.ClipGradNorm(pt.M.Cfg.GradClip * float64(len(batch)))
 	pt.Opt.Step(pt.M.PS)
+
+	// Mid-epoch publication: weights are quiesced here (workers joined, the
+	// optimizer stepped), so a delta publish reads a consistent state. The
+	// delta path keeps per-minibatch cadence affordable — only parameters
+	// touched since the target buffers' last sync are copied.
+	if pt.pubSrv != nil && pt.pubOpts.EveryBatches > 0 {
+		pt.pubSteps++
+		if pt.pubSteps >= pt.pubOpts.EveryBatches {
+			pt.pubSteps = 0
+			pt.pubSrv.PublishDelta(pt.M)
+		}
+	}
 	return loss
 }

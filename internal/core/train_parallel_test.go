@@ -232,3 +232,204 @@ func BenchmarkTrainEpochParallel(b *testing.B) {
 		pt.Close()
 	}
 }
+
+// TestFitParallelMatchesSequentialFit pins the Fit acceptance gate: with
+// shards = 1 the parallel epoch loop consumes the same shuffle stream as
+// Trainer.Fit and routes whole minibatches through one worker, so per-epoch
+// training losses and validation q-errors must match the sequential Fit to
+// 1e-6 relative (the batched forward/backward reassociates per-parameter
+// sums, nothing else).
+func TestFitParallelMatchesSequentialFit(t *testing.T) {
+	eps := benchCorpus(t, 30)
+	train, valid := eps[:24], eps[24:]
+	cfg := TestConfig()
+	mSeq := New(cfg, testEnc)
+	mPar := New(cfg, testEnc)
+	seq := NewTrainer(mSeq)
+	par := NewParallelTrainer(mPar, 1)
+	defer par.Close()
+
+	hSeq := seq.Fit(train, valid, 4, 8, nil)
+	hPar := par.Fit(train, valid, 4, 8, 1, nil)
+	if len(hSeq) != len(hPar) {
+		t.Fatalf("history lengths differ: %d vs %d", len(hSeq), len(hPar))
+	}
+	close1 := func(a, b float64) bool {
+		return math.Abs(a-b) <= 1e-6*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	}
+	for e := range hSeq {
+		s, p := hSeq[e], hPar[e]
+		if !close1(s.TrainLoss, p.TrainLoss) {
+			t.Errorf("epoch %d: train loss %g (sequential Fit) vs %g (parallel Fit)", e, s.TrainLoss, p.TrainLoss)
+		}
+		if !close1(s.ValidCost, p.ValidCost) || !close1(s.ValidCard, p.ValidCard) {
+			t.Errorf("epoch %d: validation (%g,%g) vs (%g,%g)", e, s.ValidCost, s.ValidCard, p.ValidCost, p.ValidCard)
+		}
+	}
+	compareWeights(t, "Fit shards=1", mSeq, mPar, 1e-6)
+}
+
+// TestFitAutoPublishGated drives the validation-gated publish hook: only
+// epochs improving the best published combined validation q-error publish,
+// versions increase monotonically, and the server ends up serving the last
+// published (not necessarily last trained) weights.
+func TestFitAutoPublishGated(t *testing.T) {
+	eps := benchCorpus(t, 30)
+	train, valid := eps[:24], eps[24:]
+	cfg := TestConfig()
+	m := New(cfg, testEnc)
+	pt := NewParallelTrainer(m, 2)
+	defer pt.Close()
+	srv := NewServer(m, NewBoundedMemoryPool(512))
+	pt.AutoPublish(srv, AutoPublishOptions{Gated: true, Delta: true})
+
+	hist := pt.Fit(train, valid, 6, 8, 2, nil)
+
+	best := math.Inf(1)
+	lastPub := uint64(1) // NewServer's initial snapshot
+	published := 0
+	for e, st := range hist {
+		improved := st.ValidCost+st.ValidCard < best
+		if improved {
+			best = st.ValidCost + st.ValidCard
+		}
+		if improved != (st.Published != 0) {
+			t.Fatalf("epoch %d: improved=%v but Published=%d", e, improved, st.Published)
+		}
+		if st.Published != 0 {
+			if st.Published <= lastPub {
+				t.Fatalf("epoch %d: version %d not increasing past %d", e, st.Published, lastPub)
+			}
+			lastPub = st.Published
+			published++
+		}
+	}
+	if published == 0 {
+		t.Fatal("gated Fit never published (epoch 0 always improves +Inf)")
+	}
+	if hist[0].Published == 0 {
+		t.Fatal("first epoch must publish: it always improves the +Inf gate")
+	}
+	if srv.Version() != lastPub {
+		t.Fatalf("server serves version %d, last published %d", srv.Version(), lastPub)
+	}
+}
+
+// TestFitPerMinibatchDeltaPublish turns on mid-epoch delta publication at
+// every optimizer step: the server's version must advance once per step
+// plus once per published epoch, and the served snapshot after Fit must be
+// bit-identical to the live model — continuous publication never lags.
+func TestFitPerMinibatchDeltaPublish(t *testing.T) {
+	eps := benchCorpus(t, 24)
+	train, valid := eps[:20], eps[20:]
+	cfg := TestConfig()
+	m := New(cfg, testEnc)
+	pt := NewParallelTrainer(m, 2)
+	defer pt.Close()
+	srv := NewServer(m, NewBoundedMemoryPool(512))
+	pt.AutoPublish(srv, AutoPublishOptions{Delta: true, EveryBatches: 1})
+
+	const epochs = 3
+	batch := 8
+	hist := pt.Fit(train, valid, epochs, batch, 2, nil)
+
+	stepsPerEpoch := (len(train) + batch - 1) / batch
+	want := uint64(1 + epochs*stepsPerEpoch + epochs) // initial + per-step + per-epoch
+	if srv.Version() != want {
+		t.Fatalf("server version %d after per-minibatch publication, want %d", srv.Version(), want)
+	}
+	for _, st := range hist {
+		if st.Published == 0 {
+			t.Fatal("ungated Fit must publish every epoch")
+		}
+	}
+	// The final served snapshot carries the final weights.
+	snap := srv.Snapshot()
+	compareWeights(t, "served vs live", snap.Model(), m, 0)
+	ref := NewSession(snap.Model())
+	for i, ep := range eps {
+		c, d, v := srv.Estimate(ep)
+		rc, rd := ref.Estimate(ep)
+		if v != snap.Version() || c != rc || d != rd {
+			t.Fatalf("plan %d: served (%g,%g) at v%d, snapshot replay (%g,%g) at v%d",
+				i, c, d, v, rc, rd, snap.Version())
+		}
+	}
+}
+
+// TestFitPerMinibatchServingRace composes continuous per-minibatch delta
+// publication with concurrent serving under -race: the training loop
+// publishes after every optimizer step while servers hammer the pooled
+// paths. Every served estimate must carry a version that was actually
+// installed, and the delta buffers must never tear under the rotation.
+func TestFitPerMinibatchServingRace(t *testing.T) {
+	eps := benchCorpus(t, 24)
+	train, valid := eps[:20], eps[20:]
+	cfg := TestConfig()
+	m := New(cfg, testEnc)
+	pt := NewParallelTrainer(m, 2)
+	defer pt.Close()
+	srv := NewServer(m, NewBoundedMemoryPool(256))
+	srv.EnablePrewarm(4)
+	pt.AutoPublish(srv, AutoPublishOptions{Delta: true, EveryBatches: 1})
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(done)
+		pt.Fit(train, valid, 3, 8, 2, nil)
+	}()
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for k := 0; ; k++ {
+				_, _, v := srv.Estimate(eps[(w+k)%len(eps)])
+				if v == 0 || v > srv.Version() {
+					panic("served an uninstalled version")
+				}
+				if ests, _ := srv.EstimateBatch(eps[:6], 2); len(ests) != 6 {
+					panic("short batch")
+				}
+				select {
+				case <-done:
+					return
+				default:
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// BenchmarkFitParallel measures the continuous train-and-serve loop end to
+// end at test dimensions: a 2-epoch Fit over 64 plans through the parallel
+// runtime, without and with per-minibatch delta publication into a serving
+// Server — the publication overhead of the continuous loop is the delta
+// between the two.
+func BenchmarkFitParallel(b *testing.B) {
+	eps := benchCorpus(b, 64)
+	train, valid := eps[:56], eps[56:]
+	cfg := TestConfig()
+
+	run := func(b *testing.B, publish bool) {
+		m := New(cfg, testEnc)
+		pt := NewParallelTrainer(m, 1)
+		defer pt.Close()
+		if publish {
+			srv := NewServer(m, NewBoundedMemoryPool(1024))
+			pt.AutoPublish(srv, AutoPublishOptions{Delta: true, EveryBatches: 1})
+		}
+		pt.FitNormalizers(train)
+		pt.Warmup(train)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			pt.Fit(train, valid, 2, 16, 1, nil)
+		}
+	}
+	b.Run("noPublish", func(b *testing.B) { run(b, false) })
+	b.Run("deltaEveryBatch", func(b *testing.B) { run(b, true) })
+}

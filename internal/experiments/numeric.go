@@ -148,8 +148,7 @@ func (e *Env) trainNumericModels(train, valid []*workload.Labeled) (*numericMode
 	}
 
 	fit := func(model *core.Model, tr, va []*feature.EncodedPlan) []core.EpochStats {
-		t := core.NewTrainer(model)
-		return t.Fit(tr, va, cfg.Epochs, cfg.BatchSize, nil)
+		return e.fitModel(model, tr, va)
 	}
 	cardCurve := func(h []core.EpochStats) []float64 {
 		out := make([]float64, len(h))

@@ -93,7 +93,7 @@ func (e *Env) RunStrings() (*StringResults, error) {
 		if err != nil {
 			return nil, err
 		}
-		core.NewTrainer(model).Fit(tr, va, cfg.Epochs, cfg.BatchSize, nil)
+		e.fitModel(model, tr, va)
 		return model, nil
 	}
 	var err error
@@ -308,7 +308,7 @@ func (e *Env) runSingleTable() ([]Curve, error) {
 			return nil, err
 		}
 		model := core.New(e.coreConfig(v.pred, core.RepLSTM, core.TargetCard), v.enc)
-		hist := core.NewTrainer(model).Fit(tr, va, cfg.Epochs, cfg.BatchSize, nil)
+		hist := e.fitModel(model, tr, va)
 		vals := make([]float64, len(hist))
 		for i, h := range hist {
 			vals[i] = h.ValidCard

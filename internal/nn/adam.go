@@ -20,11 +20,24 @@ func NewAdam(lr float64) *Adam {
 
 // Step applies one Adam update to every parameter in ps using the gradients
 // currently accumulated, then the caller typically calls ps.ZeroGrad.
+//
+// Each updated parameter is stamped with a fresh ParamSet clock value, the
+// per-param dirty tracking delta publication reads. A parameter whose
+// gradient is all zero and whose moment estimates have never left zero is
+// skipped entirely — the update would be an exact no-op (m, v and Value all
+// bit-unchanged), so skipping preserves bit-identical training while
+// leaving never-trained parameters (e.g. the unused head of a single-task
+// model) clean for delta consumers.
 func (a *Adam) Step(ps *ParamSet) {
 	a.steps++
 	bc1 := 1 - math.Pow(a.Beta1, float64(a.steps))
 	bc2 := 1 - math.Pow(a.Beta2, float64(a.steps))
+	t := ps.tick()
 	for _, p := range ps.params {
+		if !p.live && !anyNonZero(p.Grad) {
+			continue
+		}
+		p.live = true
 		for i, g := range p.Grad {
 			p.m[i] = a.Beta1*p.m[i] + (1-a.Beta1)*g
 			p.v[i] = a.Beta2*p.v[i] + (1-a.Beta2)*g*g
@@ -32,7 +45,19 @@ func (a *Adam) Step(ps *ParamSet) {
 			vHat := p.v[i] / bc2
 			p.Value[i] -= a.LR * mHat / (math.Sqrt(vHat) + a.Eps)
 		}
+		p.stamp = t
 	}
+}
+
+// anyNonZero reports whether g has any non-zero entry (early exit: in dense
+// training the first gradient element is almost always non-zero).
+func anyNonZero(g []float64) bool {
+	for _, v := range g {
+		if v != 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // Steps reports how many optimizer steps have been applied.

@@ -374,3 +374,203 @@ func TestActivations(t *testing.T) {
 		t.Fatalf("Tanh = %v", y)
 	}
 }
+
+// TestParamSetLoadValidation pins the Load hardening: count mismatches,
+// unknown names, duplicates and corrupt value lengths must all fail with an
+// error before any value is written — a failed load never leaves the
+// receiving set partially overwritten.
+func TestParamSetLoadValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	build := func() *ParamSet {
+		ps := NewParamSet()
+		NewLinear(ps, "a", 3, 2, rng)
+		NewLinear(ps, "b", 2, 2, rng)
+		return ps
+	}
+	src := build()
+	var full bytes.Buffer
+	if err := src.Save(&full); err != nil {
+		t.Fatal(err)
+	}
+
+	// Count mismatch: a snapshot covering fewer parameters than the set
+	// would silently leave the uncovered ones at their initial values.
+	smaller := NewParamSet()
+	NewLinear(smaller, "a", 3, 2, rng)
+	var partial bytes.Buffer
+	if err := smaller.Save(&partial); err != nil {
+		t.Fatal(err)
+	}
+	dst := build()
+	before := make([][]float64, len(dst.Params()))
+	for i, p := range dst.Params() {
+		before[i] = append([]float64(nil), p.Value...)
+	}
+	if err := dst.Load(&partial); err == nil {
+		t.Fatal("expected count-mismatch error loading a partial snapshot")
+	}
+	// ...and the superset direction.
+	bigger := build()
+	NewLinear(bigger, "c", 2, 1, rng)
+	dst2 := build()
+	var super bytes.Buffer
+	if err := bigger.Save(&super); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst2.Load(&super); err == nil {
+		t.Fatal("expected count-mismatch error loading a superset snapshot")
+	}
+
+	// Duplicate names in the payload.
+	dup := []paramBlob{
+		{Name: "a.W", Rows: 2, Cols: 3, Value: make([]float64, 6)},
+		{Name: "a.W", Rows: 2, Cols: 3, Value: make([]float64, 6)},
+		{Name: "a.B", Rows: 2, Cols: 1, Value: make([]float64, 2)},
+		{Name: "b.W", Rows: 2, Cols: 2, Value: make([]float64, 4)},
+	}
+	if err := build().loadBlobs(dup); err == nil {
+		t.Fatal("expected duplicate-parameter error")
+	}
+
+	// Corrupt value payload: length disagreeing with the declared shape
+	// would previously copy a short prefix and silently keep a stale tail.
+	short := []paramBlob{
+		{Name: "a.W", Rows: 2, Cols: 3, Value: make([]float64, 3)},
+		{Name: "a.B", Rows: 2, Cols: 1, Value: make([]float64, 2)},
+		{Name: "b.W", Rows: 2, Cols: 2, Value: make([]float64, 4)},
+		{Name: "b.B", Rows: 2, Cols: 1, Value: make([]float64, 2)},
+	}
+	if err := build().loadBlobs(short); err == nil {
+		t.Fatal("expected corrupt-length error")
+	}
+
+	// Every failed load above must be side-effect free.
+	for i, p := range dst.Params() {
+		for j := range p.Value {
+			if p.Value[j] != before[i][j] {
+				t.Fatalf("failed load mutated %s[%d]", p.Name, j)
+			}
+		}
+	}
+}
+
+// TestDirtyStamps pins the delta-publication substrate: parameters are
+// stamped at registration and re-stamped by every tracked mutation (Adam
+// step, Load, InitXavier, MarkAllUpdated), while parameters an optimizer
+// step provably does not move keep their stamp.
+func TestDirtyStamps(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ps := NewParamSet()
+	la := NewLinear(ps, "a", 3, 2, rng)
+	lb := NewLinear(ps, "b", 2, 2, rng)
+	for _, p := range ps.Params() {
+		if p.Stamp() == 0 {
+			t.Fatalf("param %s unstamped at registration", p.Name)
+		}
+	}
+
+	// An Adam step with gradients only on layer a must stamp exactly a's
+	// parameters; b's update is an exact no-op and must stay clean.
+	opt := NewAdam(0.01)
+	stA := la.W.Stamp()
+	stBW, stBB := lb.W.Stamp(), lb.B.Stamp()
+	valB := append([]float64(nil), lb.W.Value...)
+	ps.ZeroGrad()
+	la.W.Grad[0] = 0.5
+	la.B.Grad[1] = -0.25
+	opt.Step(ps)
+	if la.W.Stamp() <= stA || la.B.Stamp() <= stA {
+		t.Fatal("Adam step did not stamp updated params")
+	}
+	if lb.W.Stamp() != stBW || lb.B.Stamp() != stBB {
+		t.Fatal("Adam step stamped a parameter it provably did not move")
+	}
+	for i := range valB {
+		if lb.W.Value[i] != valB[i] {
+			t.Fatal("skipped parameter moved")
+		}
+	}
+
+	// Once a parameter's moments are live, later zero-gradient steps keep
+	// moving (and stamping) it: the moment decay changes values.
+	valA0 := la.W.Value[0]
+	st := la.W.Stamp()
+	ps.ZeroGrad()
+	opt.Step(ps)
+	if la.W.Stamp() <= st {
+		t.Fatal("live parameter not stamped on zero-gradient step")
+	}
+	if la.W.Value[0] == valA0 {
+		t.Fatal("live parameter did not move on zero-gradient step (moment decay)")
+	}
+
+	// Load and InitXavier stamp everything they touch.
+	var buf bytes.Buffer
+	if err := ps.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	st = lb.W.Stamp()
+	if err := ps.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if lb.W.Stamp() <= st {
+		t.Fatal("Load did not stamp parameters")
+	}
+	st = lb.W.Stamp()
+	ps.InitXavier(rng)
+	if lb.W.Stamp() <= st {
+		t.Fatal("InitXavier did not stamp parameters")
+	}
+	st = lb.W.Stamp()
+	ps.MarkAllUpdated()
+	if lb.W.Stamp() <= st {
+		t.Fatal("MarkAllUpdated did not stamp parameters")
+	}
+	if ps.Clock() < lb.W.Stamp() {
+		t.Fatal("clock behind latest stamp")
+	}
+}
+
+// TestAdamSkipIsBitExact drives two identical parameter sets through the
+// same gradient schedule — one whose zero-gradient parameter is exercised
+// through the skip path, one through a forced update (live flag set) — and
+// checks the skipped parameter's values, moments and subsequent trajectory
+// are bit-identical. The all-zero skip must be a provable no-op, not an
+// approximation.
+func TestAdamSkipIsBitExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	build := func() (*ParamSet, *Linear, *Linear) {
+		ps := NewParamSet()
+		a := NewLinear(ps, "a", 3, 2, rng)
+		b := NewLinear(ps, "b", 2, 2, rng)
+		return ps, a, b
+	}
+	psSkip, aSkip, bSkip := build()
+	rng = rand.New(rand.NewSource(11)) // identical init draws
+	psLive, aLive, bLive := build()
+	for i := range aSkip.W.Value {
+		aLive.W.Value[i] = aSkip.W.Value[i]
+	}
+	for i := range bSkip.W.Value {
+		bLive.W.Value[i] = bSkip.W.Value[i]
+	}
+	bLive.W.live, bLive.B.live = true, true // force the update path
+
+	optSkip, optLive := NewAdam(0.01), NewAdam(0.01)
+	for step := 0; step < 5; step++ {
+		psSkip.ZeroGrad()
+		psLive.ZeroGrad()
+		aSkip.W.Grad[step] = float64(step + 1)
+		aLive.W.Grad[step] = float64(step + 1)
+		optSkip.Step(psSkip)
+		optLive.Step(psLive)
+	}
+	for i := range bSkip.W.Value {
+		if bSkip.W.Value[i] != bLive.W.Value[i] {
+			t.Fatalf("skip path diverged from update path at b.W[%d]", i)
+		}
+		if bSkip.W.m[i] != bLive.W.m[i] || bSkip.W.v[i] != bLive.W.v[i] {
+			t.Fatalf("skip path moment mismatch at b.W[%d]", i)
+		}
+	}
+}

@@ -24,7 +24,24 @@ type Param struct {
 	Value      []float64
 	Grad       []float64
 	m, v       []float64 // Adam first/second moment estimates
+
+	// stamp is the owning ParamSet's clock value at the last mutation of
+	// Value through a tracked path (registration, Adam step, Load,
+	// InitXavier, MarkAllUpdated) — the substrate of delta publication:
+	// a consumer that recorded a param's stamp can tell whether the values
+	// moved since. Code that writes Value directly (tests, ad-hoc surgery)
+	// must call ParamSet.MarkAllUpdated afterwards or delta consumers will
+	// treat the param as clean.
+	stamp uint64
+	// live records that Adam has ever applied a non-zero gradient: once the
+	// moment estimates are non-zero the parameter keeps moving every step
+	// (the moments decay geometrically but never reach zero), so the
+	// all-zero-gradient skip in Adam.Step is only exact while !live.
+	live bool
 }
+
+// Stamp returns the ParamSet clock value at which Value last changed.
+func (p *Param) Stamp() uint64 { return p.stamp }
 
 // Mat returns a matrix view over the parameter values.
 func (p *Param) Mat() *tensor.Mat {
@@ -47,6 +64,32 @@ func (p *Param) GradVec() tensor.Vec { return p.Grad }
 type ParamSet struct {
 	params []*Param
 	byName map[string]*Param
+
+	// clock is a logical mutation counter: every tracked write to parameter
+	// values (registration, an Adam step, Load, InitXavier, MarkAllUpdated)
+	// advances it once and stamps the touched parameters with the new value.
+	// Delta publication compares stamps against a recorded clock to copy
+	// only the parameters that moved.
+	clock uint64
+}
+
+// Clock returns the set's current mutation counter.
+func (ps *ParamSet) Clock() uint64 { return ps.clock }
+
+// tick advances the mutation counter and returns its new value.
+func (ps *ParamSet) tick() uint64 {
+	ps.clock++
+	return ps.clock
+}
+
+// MarkAllUpdated stamps every parameter as mutated at a fresh clock value.
+// Call it after writing parameter values directly (bypassing Adam, Load and
+// InitXavier) so delta consumers see the change.
+func (ps *ParamSet) MarkAllUpdated() {
+	t := ps.tick()
+	for _, p := range ps.params {
+		p.stamp = t
+	}
 }
 
 // NewParamSet returns an empty parameter set.
@@ -67,6 +110,11 @@ func (ps *ParamSet) NewParam(name string, rows, cols int) *Param {
 		Grad:  make([]float64, n),
 		m:     make([]float64, n),
 		v:     make([]float64, n),
+		// Registration stamps the param as mutated: constructors initialize
+		// values (e.g. NewLinear's Xavier init) right after registering, and
+		// a non-zero stamp means a fresh delta consumer (recorded stamp 0)
+		// always copies the initial values.
+		stamp: ps.tick(),
 	}
 	ps.params = append(ps.params, p)
 	ps.byName[name] = p
@@ -170,30 +218,71 @@ type paramBlob struct {
 
 // Save serializes all parameter values (not optimizer state) to w.
 func (ps *ParamSet) Save(w io.Writer) error {
+	return ps.EncodeGob(gob.NewEncoder(w))
+}
+
+// EncodeGob writes the parameter payload through an existing gob encoder, so
+// callers can embed it in a larger single-stream format (core.Model.Save's
+// versioned checkpoint does).
+func (ps *ParamSet) EncodeGob(enc *gob.Encoder) error {
 	blobs := make([]paramBlob, len(ps.params))
 	for i, p := range ps.params {
 		blobs[i] = paramBlob{Name: p.Name, Rows: p.Rows, Cols: p.Cols, Value: p.Value}
 	}
-	return gob.NewEncoder(w).Encode(blobs)
+	return enc.Encode(blobs)
 }
 
-// Load restores parameter values previously written by Save. Every blob must
-// match a registered parameter of identical shape.
-func (ps *ParamSet) Load(r io.Reader) error {
+// DecodeGob is Load reading through an existing gob decoder, with the same
+// validation guarantees.
+func (ps *ParamSet) DecodeGob(dec *gob.Decoder) error {
 	var blobs []paramBlob
-	if err := gob.NewDecoder(r).Decode(&blobs); err != nil {
+	if err := dec.Decode(&blobs); err != nil {
 		return fmt.Errorf("nn: decode params: %w", err)
 	}
+	return ps.loadBlobs(blobs)
+}
+
+// Load restores parameter values previously written by Save. The snapshot
+// must cover the receiving set exactly: every registered parameter present
+// once, no unknown or duplicate names, shapes and value lengths matching.
+// On any mismatch Load returns a descriptive error before writing a single
+// value, so a failed load never leaves the set partially overwritten.
+func (ps *ParamSet) Load(r io.Reader) error {
+	return ps.DecodeGob(gob.NewDecoder(r))
+}
+
+// loadBlobs validates blobs against the registered parameters and then
+// copies the values in (validate-then-commit, so errors are side-effect
+// free).
+func (ps *ParamSet) loadBlobs(blobs []paramBlob) error {
+	if len(blobs) != len(ps.params) {
+		return fmt.Errorf("nn: parameter count mismatch: model has %d parameters, snapshot has %d",
+			len(ps.params), len(blobs))
+	}
+	seen := make(map[string]bool, len(blobs))
 	for _, b := range blobs {
 		p := ps.byName[b.Name]
 		if p == nil {
 			return fmt.Errorf("nn: unknown parameter %q in snapshot", b.Name)
 		}
+		if seen[b.Name] {
+			return fmt.Errorf("nn: duplicate parameter %q in snapshot", b.Name)
+		}
+		seen[b.Name] = true
 		if p.Rows != b.Rows || p.Cols != b.Cols {
 			return fmt.Errorf("nn: parameter %q shape mismatch: model %dx%d, snapshot %dx%d",
 				b.Name, p.Rows, p.Cols, b.Rows, b.Cols)
 		}
+		if len(b.Value) != b.Rows*b.Cols {
+			return fmt.Errorf("nn: parameter %q has %d values, want %d (%dx%d); snapshot corrupt",
+				b.Name, len(b.Value), b.Rows*b.Cols, b.Rows, b.Cols)
+		}
+	}
+	t := ps.tick()
+	for _, b := range blobs {
+		p := ps.byName[b.Name]
 		copy(p.Value, b.Value)
+		p.stamp = t
 	}
 	return nil
 }
@@ -201,6 +290,7 @@ func (ps *ParamSet) Load(r io.Reader) error {
 // InitXavier applies Xavier initialization to every matrix parameter and
 // zeroes every vector (bias) parameter.
 func (ps *ParamSet) InitXavier(rng *rand.Rand) {
+	t := ps.tick()
 	for _, p := range ps.params {
 		if p.Cols > 1 {
 			p.Mat().XavierInit(rng)
@@ -209,5 +299,6 @@ func (ps *ParamSet) InitXavier(rng *rand.Rand) {
 				p.Value[i] = 0
 			}
 		}
+		p.stamp = t
 	}
 }

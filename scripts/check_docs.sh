@@ -51,6 +51,7 @@ require_section() {
 require_section PERFORMANCE.md "Batched training runtime"
 require_section PERFORMANCE.md "Hot-swap serving runtime"
 require_section PERFORMANCE.md "Data-parallel training runtime"
+require_section PERFORMANCE.md "Continuous train-and-serve loop"
 require_section ARCHITECTURE.md "Runtime layers"
 
 if [ "$status" -ne 0 ]; then
