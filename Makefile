@@ -4,8 +4,9 @@
 GO ?= go
 PKGS := ./...
 BENCH_OUT ?= BENCH_INFERENCE.json
+BENCH_SERVE_OUT ?= BENCH_SERVE.json
 
-.PHONY: all build vet fmt-check test check bench bench-json clean
+.PHONY: all build vet fmt-check test check bench bench-json bench-serve clean
 
 all: check
 
@@ -41,6 +42,11 @@ bench:
 # Regenerate $(BENCH_OUT) from a fresh benchmark run (see scripts/bench_json.sh).
 bench-json:
 	./scripts/bench_json.sh $(BENCH_OUT)
+
+# Regenerate $(BENCH_SERVE_OUT): the networked-daemon scheduler benchmarks
+# (throughput, p99 latency, mean coalesced batch size).
+bench-serve:
+	./scripts/bench_json.sh $(BENCH_SERVE_OUT) serve
 
 clean:
 	$(GO) clean $(PKGS)

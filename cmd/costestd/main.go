@@ -1,0 +1,216 @@
+// Command costestd is the networked estimator daemon: a long-lived process
+// serving learned cost/cardinality estimates over HTTP, fronting the
+// hot-swap serving runtime (internal/core) with the micro-batching
+// scheduler and admission control of internal/serve.
+//
+// Startup either cold-loads a self-describing checkpoint (-checkpoint) or
+// trains a model on the synthetic IMDB workload, then serves:
+//
+//	POST /estimate  {"plan": {...}}         one estimate (see GET /samplez)
+//	GET  /healthz                           process liveness
+//	GET  /readyz                            model loaded and admitting
+//	GET  /statsz                            scheduler/pool/drain statistics
+//	GET  /samplez                           a valid example /estimate body
+//
+// SIGTERM or SIGINT triggers a graceful drain: readiness flips, admission
+// stops (503 + Retry-After), in-flight batches finish, the HTTP server
+// shuts down, and the process exits 0.
+//
+//	go run ./cmd/costestd -addr :8080 -retrain 5s
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"costest/internal/core"
+	"costest/internal/dataset"
+	"costest/internal/exec"
+	"costest/internal/feature"
+	"costest/internal/pg"
+	"costest/internal/planner"
+	"costest/internal/serve"
+	"costest/internal/stats"
+	"costest/internal/strembed"
+	"costest/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		scale      = flag.Float64("scale", 0.03, "synthetic IMDB scale factor")
+		seed       = flag.Int64("seed", 42, "workload seed")
+		queries    = flag.Int("queries", 240, "training workload size")
+		epochs     = flag.Int("epochs", 20, "training epoch budget")
+		shards     = flag.Int("shards", 1, "data-parallel trainer shards")
+		patience   = flag.Int("patience", 3, "early-stopping patience (0 disables)")
+		checkpoint = flag.String("checkpoint", "", "checkpoint path: cold-load if present, else train and save")
+		queueDepth = flag.Int("queue", 256, "admission queue depth")
+		maxBatch   = flag.Int("max-batch", 64, "max requests coalesced per model call")
+		window     = flag.Duration("batch-window", 2*time.Millisecond, "coalescing wait after a batch's first request")
+		workers    = flag.Int("workers", 0, "EstimateBatch workers (0 = GOMAXPROCS)")
+		poolBound  = flag.Int("pool", 4096, "representation pool entry bound")
+		retrain    = flag.Duration("retrain", 0, "background retrain+publish interval (0 disables)")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Substrate: synthetic database, statistics, a labeled workload for
+	// normalizer fitting (and training, when there is no checkpoint).
+	start := time.Now()
+	db := dataset.GenerateIMDB(dataset.Config{Seed: 1, Scale: *scale})
+	cat := stats.Collect(db, stats.Options{Buckets: 40, SampleSize: 64, Seed: 1})
+	eng := exec.NewEngine(db)
+	pl := planner.New(pg.New(cat), db.Schema)
+	labeler := &workload.Labeler{Planner: pl, Engine: eng}
+	labeled := labeler.Label(workload.TrainingNumeric(db, *seed, *queries))
+	enc := feature.NewEncoder(cat, strembed.ZeroEncoder{}, true)
+	var eps []*feature.EncodedPlan
+	var sample *serve.WirePlan
+	for _, s := range labeled {
+		ep, err := enc.Encode(s.Plan)
+		if err != nil {
+			log.Fatalf("costestd: encode: %v", err)
+		}
+		eps = append(eps, ep)
+		if sample == nil {
+			sample = serve.EncodeWire(s.Plan)
+		}
+	}
+	if len(eps) == 0 {
+		log.Fatal("costestd: empty training corpus")
+	}
+	log.Printf("costestd: substrate ready in %v (%d labeled plans)", time.Since(start).Round(time.Millisecond), len(eps))
+
+	model, err := loadOrTrain(*checkpoint, enc, eps, *epochs, *shards, *patience)
+	if err != nil {
+		log.Fatalf("costestd: %v", err)
+	}
+
+	// Serving stack: hot-swap server over a generation-tagged bounded pool,
+	// micro-batching scheduler, HTTP service.
+	srv := core.NewServer(model, core.NewBoundedMemoryPool(*poolBound))
+	srv.EnablePrewarm(16)
+	sched := serve.NewScheduler(srv, serve.SchedulerConfig{
+		QueueDepth:  *queueDepth,
+		MaxBatch:    *maxBatch,
+		BatchWindow: *window,
+		Workers:     *workers,
+	})
+	sched.Start()
+	svc := serve.NewService(sched, srv, enc)
+	svc.SetSample(sample)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("costestd: listen: %v", err)
+	}
+	httpSrv := &http.Server{Handler: svc.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	httpErr := make(chan error, 1)
+	go func() { httpErr <- httpSrv.Serve(ln) }()
+	svc.SetReady(true)
+	log.Printf("costestd: serving v%d on %s (%d params, queue %d, max batch %d, window %v)",
+		srv.Version(), ln.Addr(), model.NumParams(), *queueDepth, *maxBatch, *window)
+
+	// Optional continuous train-and-serve loop: retrain on the labeled
+	// corpus and delta-publish, while the scheduler keeps serving whatever
+	// snapshot is current.
+	retrainDone := make(chan struct{})
+	if *retrain > 0 {
+		trainer := core.NewTrainer(model)
+		go func() {
+			defer close(retrainDone)
+			tick := time.NewTicker(*retrain)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					loss := trainer.TrainEpochBatched(eps, 16, *workers)
+					snap := trainer.PublishDelta(srv)
+					log.Printf("costestd: retrained (loss %.3f) -> published v%d", loss, snap.Version())
+				}
+			}
+		}()
+	} else {
+		close(retrainDone)
+	}
+
+	select {
+	case <-ctx.Done():
+	case err := <-httpErr:
+		log.Fatalf("costestd: serve: %v", err)
+	}
+
+	// Graceful drain: stop admitting (readiness flips with the drain), flush
+	// everything already admitted, then close the listener.
+	log.Print("costestd: signal received, draining")
+	svc.SetReady(false)
+	<-retrainDone
+	sched.Close()
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		log.Fatalf("costestd: shutdown: %v", err)
+	}
+	if err := <-httpErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("costestd: serve: %v", err)
+	}
+	st := sched.Stats()
+	log.Printf("costestd: drained clean: %d served in %d batches (mean %.1f), %d rejected, 0 dropped",
+		st.Served, st.Batches, st.MeanBatch, st.Rejected)
+}
+
+// loadOrTrain cold-loads a self-describing checkpoint when one exists at
+// path, otherwise trains a model (publishing nothing yet) and, when path is
+// set, saves the result for the next cold start.
+func loadOrTrain(path string, enc *feature.Encoder, eps []*feature.EncodedPlan,
+	epochs, shards, patience int) (*core.Model, error) {
+	if path != "" {
+		if f, err := os.Open(path); err == nil {
+			defer f.Close()
+			m, err := core.LoadModel(f, enc)
+			if err != nil {
+				return nil, fmt.Errorf("checkpoint %s: %w", path, err)
+			}
+			log.Printf("costestd: cold-loaded checkpoint %s", path)
+			return m, nil
+		}
+	}
+	cut := len(eps) * 4 / 5
+	train, valid := eps[:cut], eps[cut:]
+	m := core.New(core.TestConfig(), enc)
+	pt := core.NewParallelTrainer(m, shards)
+	defer pt.Close()
+	pt.EarlyStop(core.EarlyStopOptions{Patience: patience})
+	start := time.Now()
+	hist := pt.Fit(train, valid, epochs, 16, 0, nil)
+	last := hist[len(hist)-1]
+	log.Printf("costestd: trained %d/%d epochs in %v (valid q-error: cost %.2f, card %.2f)",
+		len(hist), epochs, time.Since(start).Round(time.Millisecond), last.ValidCost, last.ValidCard)
+	if path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, fmt.Errorf("save checkpoint: %w", err)
+		}
+		defer f.Close()
+		if err := m.Save(f); err != nil {
+			return nil, fmt.Errorf("save checkpoint: %w", err)
+		}
+		log.Printf("costestd: saved checkpoint %s", path)
+	}
+	return m, nil
+}

@@ -96,31 +96,91 @@ func (m *Model) NumParams() int { return m.PS.NumParams() }
 // state.
 const modelMagic = "COSTESTM"
 
-// modelCheckpointVersion is the current checkpoint format version. Version 2
-// added the header itself with the cost/cardinality target normalizers;
-// version 1 is the headerless legacy format.
-const modelCheckpointVersion = 2
+// modelCheckpointVersion is the current checkpoint format version. Version 3
+// made checkpoints self-describing: the header carries the model Config and
+// the encoder feature dimensions, so a cold process (costestd loading a
+// checkpoint at startup) can reconstruct the model without out-of-band
+// hyperparameters and verify its encoder is shape-compatible before touching
+// any weights. Version 2 added the header itself with the cost/cardinality
+// target normalizers; version 1 is the headerless legacy format.
+const modelCheckpointVersion = 3
+
+// EncoderMeta records the feature-space dimensions a model was built
+// against — the encoder facts a checkpoint needs to be loadable cold. The
+// encoder itself (catalog, string embedder) is reconstructed by the loading
+// process from its own substrate; the metadata makes a mismatch a descriptive
+// error instead of silently mis-shaped estimates.
+type EncoderMeta struct {
+	OpDim           int
+	MetaDim         int
+	BitmapDim       int
+	AtomDim         int
+	UseSampleBitmap bool
+}
+
+// encoderMetaOf captures enc's dimensions for a checkpoint header.
+func encoderMetaOf(enc *feature.Encoder) EncoderMeta {
+	return EncoderMeta{
+		OpDim:           enc.OpDim(),
+		MetaDim:         enc.MetaDim(),
+		BitmapDim:       enc.BitmapDim(),
+		AtomDim:         enc.AtomDim(),
+		UseSampleBitmap: enc.UseSampleBitmap,
+	}
+}
+
+// check reports the first dimension on which enc differs from the recorded
+// metadata, or "" when compatible.
+func (em EncoderMeta) check(enc *feature.Encoder) string {
+	got := encoderMetaOf(enc)
+	switch {
+	case got.OpDim != em.OpDim:
+		return fmt.Sprintf("operation one-hot width %d, checkpoint built against %d", got.OpDim, em.OpDim)
+	case got.MetaDim != em.MetaDim:
+		return fmt.Sprintf("metadata bitmap width %d, checkpoint built against %d", got.MetaDim, em.MetaDim)
+	case got.BitmapDim != em.BitmapDim:
+		return fmt.Sprintf("sample bitmap width %d, checkpoint built against %d", got.BitmapDim, em.BitmapDim)
+	case got.AtomDim != em.AtomDim:
+		return fmt.Sprintf("predicate atom width %d, checkpoint built against %d", got.AtomDim, em.AtomDim)
+	case got.UseSampleBitmap != em.UseSampleBitmap:
+		return fmt.Sprintf("sample bitmap enabled=%v, checkpoint built with %v", got.UseSampleBitmap, em.UseSampleBitmap)
+	}
+	return ""
+}
 
 // modelHeader is the versioned checkpoint header: everything a round-tripped
 // model needs beyond the weights to reproduce bit-identical estimates. The
 // target normalizers used to be silently dropped, leaving a loaded model
-// misestimating until FitNormalizers was re-run.
+// misestimating until FitNormalizers was re-run. Since version 3 the header
+// also carries the Config and encoder dimensions (gob leaves them zero when
+// decoding older files).
 type modelHeader struct {
 	Version  int
 	CostNorm nn.Normalizer
 	CardNorm nn.Normalizer
+	Config   Config
+	Encoder  EncoderMeta
 }
 
 // Save serializes a versioned checkpoint: a magic prefix, a header carrying
-// the target normalizers, then the parameter values. Weights and normalizers
-// round-trip; Config and the feature encoder are construction-time inputs
-// and must still be persisted alongside by the caller.
+// the target normalizers, the model Config and the encoder dimensions, then
+// the parameter values. The checkpoint is self-describing: LoadModel can
+// rebuild an identically configured model from it with nothing but a
+// shape-compatible encoder — no out-of-band hyperparameters. (The encoder's
+// own state — catalog, string embedder — is still the loader's to provide; a
+// synthetic-substrate process reconstructs it from its generation seed.)
 func (m *Model) Save(w io.Writer) error {
 	if _, err := io.WriteString(w, modelMagic); err != nil {
 		return fmt.Errorf("core: write checkpoint magic: %w", err)
 	}
 	enc := gob.NewEncoder(w)
-	hdr := modelHeader{Version: modelCheckpointVersion, CostNorm: m.CostNorm, CardNorm: m.CardNorm}
+	hdr := modelHeader{
+		Version:  modelCheckpointVersion,
+		CostNorm: m.CostNorm,
+		CardNorm: m.CardNorm,
+		Config:   m.Cfg,
+		Encoder:  encoderMetaOf(m.Enc),
+	}
 	if err := enc.Encode(hdr); err != nil {
 		return fmt.Errorf("core: encode checkpoint header: %w", err)
 	}
@@ -159,4 +219,44 @@ func (m *Model) Load(r io.Reader) error {
 	}
 	m.CostNorm, m.CardNorm = hdr.CostNorm, hdr.CardNorm
 	return nil
+}
+
+// LoadModel reads a self-describing (version >= 3) checkpoint and rebuilds
+// the model it was saved from: the persisted Config constructs the network,
+// enc supplies the feature encoder, and the weights and normalizers load
+// into it — the cold-start path for a serving process handed nothing but a
+// checkpoint file and a substrate to rebuild the encoder on. The encoder is
+// validated against the persisted dimensions before any weight is touched,
+// so a checkpoint from a different schema or embedding width fails with a
+// descriptive error instead of shape panics (or, worse, silently wrong
+// estimates). Older checkpoints (version 2 and the headerless legacy format)
+// do not carry a Config; load those with Model.Load into a model you
+// configured yourself.
+func LoadModel(r io.Reader, enc *feature.Encoder) (*Model, error) {
+	br := bufio.NewReader(r)
+	prefix, err := br.Peek(len(modelMagic))
+	if err != nil || string(prefix) != modelMagic {
+		return nil, fmt.Errorf("core: checkpoint is not self-describing (legacy headerless format?); construct the model and use Model.Load")
+	}
+	if _, err := br.Discard(len(modelMagic)); err != nil {
+		return nil, fmt.Errorf("core: read checkpoint magic: %w", err)
+	}
+	dec := gob.NewDecoder(br)
+	var hdr modelHeader
+	if err := dec.Decode(&hdr); err != nil {
+		return nil, fmt.Errorf("core: decode checkpoint header: %w", err)
+	}
+	if hdr.Version < 3 || hdr.Version > modelCheckpointVersion {
+		return nil, fmt.Errorf("core: checkpoint version %d carries no model config (self-describing needs 3..%d); construct the model and use Model.Load",
+			hdr.Version, modelCheckpointVersion)
+	}
+	if diff := hdr.Encoder.check(enc); diff != "" {
+		return nil, fmt.Errorf("core: encoder incompatible with checkpoint: %s", diff)
+	}
+	m := New(hdr.Config, enc)
+	if err := m.PS.DecodeGob(dec); err != nil {
+		return nil, err
+	}
+	m.CostNorm, m.CardNorm = hdr.CostNorm, hdr.CardNorm
+	return m, nil
 }

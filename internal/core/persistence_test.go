@@ -2,7 +2,11 @@ package core
 
 import (
 	"bytes"
+	"encoding/gob"
 	"testing"
+
+	"costest/internal/feature"
+	"costest/internal/strembed"
 )
 
 // TestModelCheckpointRoundTrip is the persistence acceptance gate: for every
@@ -164,5 +168,106 @@ func TestModelLoadErrors(t *testing.T) {
 		if c != sc || d != sd {
 			t.Fatalf("plan %d: recovered load disagrees with source", i)
 		}
+	}
+}
+
+// TestLoadModelSelfDescribing exercises the cold-start path: a checkpoint
+// written by Save carries the Config and encoder dimensions, so LoadModel
+// rebuilds the trained model from nothing but the file and a compatible
+// encoder — no out-of-band hyperparameters — and estimates bit-identically.
+func TestLoadModelSelfDescribing(t *testing.T) {
+	eps := benchCorpus(t, 8)
+	for _, variant := range sessionVariants {
+		cfg := TestConfig()
+		variant.mod(&cfg)
+		m := New(cfg, testEnc)
+		tr := NewTrainer(m)
+		tr.FitNormalizers(eps)
+		tr.TrainEpochBatched(eps, 4, 1)
+
+		var buf bytes.Buffer
+		if err := m.Save(&buf); err != nil {
+			t.Fatalf("%s: save: %v", variant.name, err)
+		}
+		m2, err := LoadModel(&buf, testEnc)
+		if err != nil {
+			t.Fatalf("%s: LoadModel: %v", variant.name, err)
+		}
+		if m2.Cfg != cfg {
+			t.Fatalf("%s: persisted config did not round-trip: %+v vs %+v", variant.name, m2.Cfg, cfg)
+		}
+		for i, ep := range eps {
+			c1, d1 := m.Estimate(ep)
+			c2, d2 := m2.Estimate(ep)
+			if c1 != c2 || d1 != d2 {
+				t.Fatalf("%s plan %d: cold-loaded model estimates (%g,%g), original (%g,%g)",
+					variant.name, i, c2, d2, c1, d1)
+			}
+		}
+	}
+}
+
+// TestLoadModelRejectsIncompatible pins LoadModel's validation: encoders
+// whose feature dimensions differ from the checkpoint's, legacy headerless
+// streams, and pre-config (version 2) headers all fail with descriptive
+// errors instead of shape panics.
+func TestLoadModelRejectsIncompatible(t *testing.T) {
+	eps := benchCorpus(t, 6)
+	cfg := TestConfig()
+	m := New(cfg, testEnc)
+	tr := NewTrainer(m)
+	tr.FitNormalizers(eps)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// A different string-embedding width changes AtomDim.
+	narrowEnc := feature.NewEncoder(testCat, strembed.HashEmbedder{DimN: 6}, true)
+	if _, err := LoadModel(bytes.NewReader(good), narrowEnc); err == nil {
+		t.Fatal("LoadModel accepted an encoder with a mismatched atom width")
+	}
+	// Disabling the sample bitmap changes BitmapDim.
+	noBmEnc := feature.NewEncoder(testCat, strembed.HashEmbedder{DimN: 12}, false)
+	if _, err := LoadModel(bytes.NewReader(good), noBmEnc); err == nil {
+		t.Fatal("LoadModel accepted an encoder without the checkpoint's sample bitmap")
+	}
+
+	// Legacy headerless stream: no config to rebuild from.
+	var legacy bytes.Buffer
+	if err := m.PS.Save(&legacy); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadModel(&legacy, testEnc); err == nil {
+		t.Fatal("LoadModel accepted a headerless legacy stream")
+	}
+
+	// A version-2 header (pre-config): hand-built the way Save used to write.
+	var v2 bytes.Buffer
+	v2.WriteString(modelMagic)
+	enc := gob.NewEncoder(&v2)
+	if err := enc.Encode(modelHeader{Version: 2, CostNorm: m.CostNorm, CardNorm: m.CardNorm}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.PS.EncodeGob(enc); err != nil {
+		t.Fatal(err)
+	}
+	v2bytes := v2.Bytes()
+	if _, err := LoadModel(bytes.NewReader(v2bytes), testEnc); err == nil {
+		t.Fatal("LoadModel accepted a version-2 header with no config")
+	}
+	// ...but Model.Load still reads it (legacy compatibility).
+	m3 := New(cfg, testEnc)
+	if err := m3.Load(bytes.NewReader(v2bytes)); err != nil {
+		t.Fatalf("Model.Load rejected a version-2 checkpoint: %v", err)
+	}
+	if m3.CostNorm != m.CostNorm || m3.CardNorm != m.CardNorm {
+		t.Fatal("version-2 normalizers did not round-trip through Model.Load")
+	}
+
+	// The good checkpoint still cold-loads after all the failures.
+	if _, err := LoadModel(bytes.NewReader(good), testEnc); err != nil {
+		t.Fatalf("good checkpoint failed to cold-load: %v", err)
 	}
 }

@@ -41,6 +41,14 @@ type Server struct {
 	// PublishDelta, reset when the source model changes); guarded by pubMu.
 	delta *deltaPub
 
+	// retiredHW is the high-water mark of the retired-snapshot drain list —
+	// how many superseded delta snapshots have ever been awaiting drain at
+	// once. Steady-state double buffering holds it at 1; growth means retirees
+	// are not draining (long-pinned snapshots or requests stuck on old
+	// versions) and each stuck retiree is a full weight-buffer set that cannot
+	// be recycled. Guarded by pubMu.
+	retiredHW int
+
 	// prewarm tracks the hottest served plans for post-publish pool
 	// pre-warming (nil when disabled); prewarmMu serializes replays so they
 	// never pile up across rapid publishes, and prewarmed records the last
@@ -248,6 +256,29 @@ func (srv *Server) LastDeltaCopied() int {
 	return srv.delta.lastCopied
 }
 
+// DrainStats reports the state of the retired-snapshot-slot drain list:
+// Retired is the number of superseded delta snapshots currently awaiting
+// drain (their weight buffers cannot be recycled until every in-flight
+// request and pin on them clears), RetiredHighWater the most that have ever
+// waited at once. Healthy steady-state delta publication double-buffers, so
+// the high water sits at 1; a climbing mark is the observable symptom of
+// requests or pins holding old versions alive.
+type DrainStats struct {
+	Retired          int
+	RetiredHighWater int
+}
+
+// SnapshotDrainStats returns the server's current drain-list statistics.
+func (srv *Server) SnapshotDrainStats() DrainStats {
+	srv.pubMu.Lock()
+	defer srv.pubMu.Unlock()
+	st := DrainStats{RetiredHighWater: srv.retiredHW}
+	if srv.delta != nil {
+		st.Retired = len(srv.delta.retired)
+	}
+	return st
+}
+
 // install makes snap the served snapshot: generation bump first, then the
 // snapshot store, so a snapshot is never observable before the pool accepts
 // its generation; the retiring delta snapshot (if any) joins the drain list
@@ -260,6 +291,9 @@ func (srv *Server) install(snap *ModelSnapshot) {
 	srv.cur.Store(snap)
 	if prev != nil && prev.slot != nil && srv.delta != nil {
 		srv.delta.retired = append(srv.delta.retired, prev)
+		if n := len(srv.delta.retired); n > srv.retiredHW {
+			srv.retiredHW = n
+		}
 	}
 	if srv.pool != nil && srv.prewarm.Load() != nil &&
 		srv.prewarmPending.CompareAndSwap(false, true) {

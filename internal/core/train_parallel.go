@@ -68,6 +68,23 @@ type ParallelTrainer struct {
 	pubOpts  AutoPublishOptions
 	pubSteps int
 	pubBest  float64
+
+	// stop is the early-stopping configuration of Fit (zero Patience
+	// disables it).
+	stop EarlyStopOptions
+}
+
+// EarlyStopOptions configures validation-based early stopping in
+// ParallelTrainer.Fit.
+type EarlyStopOptions struct {
+	// Patience is how many consecutive epochs the combined validation
+	// q-error (cost + card) may fail to improve before Fit stops; <= 0
+	// disables early stopping.
+	Patience int
+	// MinDelta is the least absolute improvement over the best combined
+	// validation error that counts as progress; epochs inside the band count
+	// against the patience budget.
+	MinDelta float64
 }
 
 // AutoPublishOptions configures the publish hook of ParallelTrainer.Fit.
@@ -131,6 +148,15 @@ func (pt *ParallelTrainer) AutoPublish(srv *Server, opts AutoPublishOptions) {
 	pt.pubBest = math.Inf(1)
 }
 
+// EarlyStop installs validation-based early stopping on Fit: training stops
+// once the combined validation q-error has gone opts.Patience consecutive
+// epochs without improving its best value by more than opts.MinDelta, so a
+// long `epochs` budget terminates when the model plateaus instead of burning
+// the remaining epochs. Zero Patience (the default) disables stopping.
+func (pt *ParallelTrainer) EarlyStop(opts EarlyStopOptions) {
+	pt.stop = opts
+}
+
 // Fit trains for the given number of epochs through the data-parallel
 // runtime, mirroring Trainer.Fit: normalizers are fitted on the training
 // set, each epoch runs shuffled minibatches (sharded across the trainer's
@@ -143,12 +169,15 @@ func (pt *ParallelTrainer) AutoPublish(srv *Server, opts AutoPublishOptions) {
 // When AutoPublish has been configured, each epoch's stats drive the hook:
 // ungated, every epoch publishes; gated, only epochs improving the best
 // published combined validation q-error do. The installed version is
-// recorded in the returned stats. Fit returns the stats history — the data
-// behind the paper's validation-error curves (Figures 7 and 8).
+// recorded in the returned stats. When EarlyStop has been configured, Fit
+// may return before `epochs` epochs — the history's length is the number
+// actually run. Fit returns the stats history — the data behind the paper's
+// validation-error curves (Figures 7 and 8).
 func (pt *ParallelTrainer) Fit(train, valid []*feature.EncodedPlan, epochs, batchSize, workers int,
 	cb func(EpochStats)) []EpochStats {
 	pt.FitNormalizers(train)
 	history := make([]EpochStats, 0, epochs)
+	best, sinceBest := math.Inf(1), 0
 	for e := 0; e < epochs; e++ {
 		loss := pt.TrainEpochParallel(train, batchSize, workers)
 		vc, vd := pt.M.ValidationError(valid)
@@ -166,6 +195,11 @@ func (pt *ParallelTrainer) Fit(train, valid []*feature.EncodedPlan, epochs, batc
 		history = append(history, st)
 		if cb != nil {
 			cb(st)
+		}
+		if vc+vd < best-pt.stop.MinDelta {
+			best, sinceBest = vc+vd, 0
+		} else if sinceBest++; pt.stop.Patience > 0 && sinceBest >= pt.stop.Patience {
+			break
 		}
 	}
 	return history

@@ -433,3 +433,59 @@ func BenchmarkFitParallel(b *testing.B) {
 	b.Run("noPublish", func(b *testing.B) { run(b, false) })
 	b.Run("deltaEveryBatch", func(b *testing.B) { run(b, true) })
 }
+
+// TestFitEarlyStopping pins the patience contract: with a zero learning rate
+// the validation error cannot improve after the first epoch, so Fit must
+// stop after exactly 1 + patience epochs instead of burning the full budget;
+// with early stopping disabled the same plateau runs every epoch.
+func TestFitEarlyStopping(t *testing.T) {
+	eps := benchCorpus(t, 12)
+	train, valid := eps[:8], eps[8:]
+
+	run := func(patience, epochs int) []EpochStats {
+		cfg := TestConfig()
+		cfg.LearnRate = 0 // frozen weights: epoch 0 sets the best, nothing improves after
+		pt := NewParallelTrainer(New(cfg, testEnc), 1)
+		defer pt.Close()
+		pt.EarlyStop(EarlyStopOptions{Patience: patience})
+		return pt.Fit(train, valid, epochs, 4, 1, nil)
+	}
+
+	if h := run(3, 20); len(h) != 4 {
+		t.Fatalf("patience 3 on a plateau ran %d epochs, want 4 (1 best + 3 patience)", len(h))
+	}
+	if h := run(0, 6); len(h) != 6 {
+		t.Fatalf("disabled early stopping ran %d epochs, want the full 6", len(h))
+	}
+
+	// An improving run must not stop early: every epoch that beats the best
+	// resets the patience budget.
+	cfg := TestConfig()
+	pt := NewParallelTrainer(New(cfg, testEnc), 1)
+	defer pt.Close()
+	pt.EarlyStop(EarlyStopOptions{Patience: 2})
+	h := pt.Fit(train, valid, 4, 4, 1, nil)
+	improved := 0
+	for i := 1; i < len(h); i++ {
+		if h[i].ValidCost+h[i].ValidCard < h[i-1].ValidCost+h[i-1].ValidCard {
+			improved++
+		}
+	}
+	if improved == 0 && len(h) == 4 {
+		t.Log("validation never improved; run length alone is not informative")
+	}
+	if len(h) > 4 {
+		t.Fatalf("Fit ran %d epochs past its %d-epoch budget", len(h), 4)
+	}
+
+	// MinDelta: improvements smaller than the band count against patience.
+	// A zero-lr run with a huge MinDelta behaves identically to the plateau.
+	cfg2 := TestConfig()
+	cfg2.LearnRate = 0
+	pt2 := NewParallelTrainer(New(cfg2, testEnc), 1)
+	defer pt2.Close()
+	pt2.EarlyStop(EarlyStopOptions{Patience: 2, MinDelta: 1e9})
+	if h := pt2.Fit(train, valid, 20, 4, 1, nil); len(h) != 3 {
+		t.Fatalf("min-delta plateau ran %d epochs, want 3", len(h))
+	}
+}

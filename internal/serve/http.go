@@ -1,0 +1,271 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"costest/internal/core"
+	"costest/internal/feature"
+)
+
+// Service is the HTTP face of the estimator daemon: it decodes wire plans,
+// routes them through the micro-batching scheduler, and exposes the health,
+// readiness and statistics endpoints an orchestrator probes. Handlers are
+// panic-recovered individually — a failing request 500s alone, the daemon
+// keeps serving.
+type Service struct {
+	sched *Scheduler
+	srv   *core.Server
+	enc   *feature.Encoder
+
+	// RetryAfter is the back-off hint attached to 503 responses (rounded up
+	// to whole seconds, minimum 1).
+	RetryAfter time.Duration
+	// MaxBodyBytes bounds request bodies (another unbounded-growth guard);
+	// <= 0 defaults to 1 MiB.
+	MaxBodyBytes int64
+
+	ready  atomic.Bool
+	sample atomic.Pointer[WirePlan]
+}
+
+// NewService wires the HTTP layer over a scheduler. The service starts
+// unready; call SetReady(true) once the model is loaded and the scheduler
+// started.
+func NewService(sched *Scheduler, srv *core.Server, enc *feature.Encoder) *Service {
+	return &Service{sched: sched, srv: srv, enc: enc, RetryAfter: time.Second}
+}
+
+// SetReady flips the /readyz gate. Readiness additionally requires the
+// scheduler not to be draining, so shutdown reports unready the instant the
+// drain begins, with no extra call.
+func (s *Service) SetReady(ready bool) { s.ready.Store(ready) }
+
+// SetSample installs the wire plan served by /samplez — a known-valid
+// example request against this daemon's schema, so clients (and the CI smoke
+// test) can discover the request shape without reading the source.
+func (s *Service) SetSample(w *WirePlan) { s.sample.Store(w) }
+
+// estimateRequest is the /estimate body: exactly one of Plan or Plans.
+type estimateRequest struct {
+	Plan  *WirePlan   `json:"plan,omitempty"`
+	Plans []*WirePlan `json:"plans,omitempty"`
+	// TimeoutMS bounds this request's time in the daemon (admission wait +
+	// batch dispatch); expired requests are answered 504, never served late.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// wireEstimate is one estimate in a response.
+type wireEstimate struct {
+	Cost    float64 `json:"cost"`
+	Card    float64 `json:"card"`
+	Version uint64  `json:"version"`
+}
+
+type estimateResponse struct {
+	Estimates []wireEstimate `json:"estimates"`
+}
+
+// statszResponse is the /statsz body.
+type statszResponse struct {
+	Version   uint64          `json:"version"`
+	Scheduler SchedulerStats  `json:"scheduler"`
+	Pool      *poolStats      `json:"pool,omitempty"`
+	Drain     core.DrainStats `json:"snapshot_drain"`
+}
+
+type poolStats struct {
+	Entries   int     `json:"entries"`
+	Bound     int     `json:"bound"`
+	HitRate   float64 `json:"hit_rate"`
+	StaleRate float64 `json:"stale_rate"`
+}
+
+// Handler returns the daemon's HTTP mux, every route wrapped in per-request
+// panic recovery.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/estimate", s.handleEstimate)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/statsz", s.handleStatsz)
+	mux.HandleFunc("/samplez", s.handleSamplez)
+	return s.recoverWrap(mux)
+}
+
+// recoverWrap fails only the panicking request: the connection gets a 500
+// (when nothing was written yet) and the daemon keeps serving.
+func (s *Service) recoverWrap(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if p := recover(); p != nil {
+				http.Error(w, fmt.Sprintf("internal error: %v", p), http.StatusInternalServerError)
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Service) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() || s.sched.Draining() {
+		s.unavailable(w, "not ready")
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ready")
+}
+
+func (s *Service) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	resp := statszResponse{
+		Version:   s.srv.Version(),
+		Scheduler: s.sched.Stats(),
+		Drain:     s.srv.SnapshotDrainStats(),
+	}
+	if p := s.srv.Pool(); p != nil {
+		resp.Pool = &poolStats{
+			Entries:   p.Len(),
+			Bound:     p.Bound(),
+			HitRate:   p.HitRate(),
+			StaleRate: p.StaleRate(),
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Service) handleSamplez(w http.ResponseWriter, r *http.Request) {
+	sample := s.sample.Load()
+	if sample == nil {
+		http.Error(w, "no sample plan installed", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, estimateRequest{Plan: sample})
+}
+
+func (s *Service) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	if !s.ready.Load() {
+		s.unavailable(w, "model not ready")
+		return
+	}
+	maxBody := s.MaxBodyBytes
+	if maxBody <= 0 {
+		maxBody = 1 << 20
+	}
+	var req estimateRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	plans := req.Plans
+	if req.Plan != nil {
+		if len(plans) > 0 {
+			http.Error(w, "bad request: set plan or plans, not both", http.StatusBadRequest)
+			return
+		}
+		plans = []*WirePlan{req.Plan}
+	}
+	if len(plans) == 0 {
+		http.Error(w, "bad request: no plan", http.StatusBadRequest)
+		return
+	}
+
+	// Decode and feature-encode before admission, so invalid requests are
+	// 400s at the boundary and never occupy queue slots.
+	eps := make([]*feature.EncodedPlan, len(plans))
+	for i, wp := range plans {
+		root, err := wp.Decode()
+		if err != nil {
+			http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		ep, err := s.enc.Encode(root)
+		if err != nil {
+			http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		eps[i] = ep
+	}
+
+	// Deadline propagation: the request context (client disconnects cancel
+	// it) plus the optional explicit budget.
+	ctx := r.Context()
+	if req.TimeoutMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
+		defer cancel()
+	}
+
+	// Each plan is submitted individually — concurrently for multi-plan
+	// requests — so the scheduler coalesces across connections and within a
+	// request by the same rules.
+	results := make([]Result, len(eps))
+	errs := make([]error, len(eps))
+	if len(eps) == 1 {
+		results[0], errs[0] = s.sched.Submit(ctx, eps[0])
+	} else {
+		var wg sync.WaitGroup
+		for i := range eps {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				results[i], errs[i] = s.sched.Submit(ctx, eps[i])
+			}(i)
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		switch {
+		case errors.Is(err, ErrOverloaded), errors.Is(err, ErrDraining):
+			s.unavailable(w, err.Error())
+		case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+			http.Error(w, err.Error(), http.StatusGatewayTimeout)
+		default:
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+		return
+	}
+	resp := estimateResponse{Estimates: make([]wireEstimate, len(results))}
+	for i, res := range results {
+		resp.Estimates[i] = wireEstimate{Cost: res.Cost, Card: res.Card, Version: res.Version}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// unavailable writes a 503 with the Retry-After back-off hint — the
+// admission-control response: reject loudly and immediately, never queue
+// without bound.
+func (s *Service) unavailable(w http.ResponseWriter, msg string) {
+	secs := int(s.RetryAfter / time.Second)
+	if s.RetryAfter%time.Second != 0 || secs < 1 {
+		secs++
+	}
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+	http.Error(w, msg, http.StatusServiceUnavailable)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

@@ -1,0 +1,286 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// newTestService spins up a full serving stack (scheduler + HTTP service)
+// over a trained server, started and marked ready.
+func newTestService(t *testing.T) (*Service, *Scheduler, *httptest.Server) {
+	t.Helper()
+	plans, eps := testCorpus(t, 201, 12)
+	srv, _ := testServer(t, eps)
+	sched := NewScheduler(srv, SchedulerConfig{QueueDepth: 16, MaxBatch: 8})
+	sched.Start()
+	svc := NewService(sched, srv, testEnc)
+	svc.SetSample(EncodeWire(plans[0]))
+	svc.SetReady(true)
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		sched.Close()
+	})
+	return svc, sched, ts
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("post: %v", err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+// TestHTTPEstimateRoundTrip posts real plans through the wire format and
+// checks each response against a direct single-threaded evaluation of the
+// served snapshot.
+func TestHTTPEstimateRoundTrip(t *testing.T) {
+	plans, eps := testCorpus(t, 201, 12)
+	svc, _, ts := newTestService(t)
+	_ = svc
+
+	for i := 0; i < 3; i++ {
+		resp := postJSON(t, ts.URL+"/estimate", estimateRequest{Plan: EncodeWire(plans[i])})
+		if resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(resp.Body)
+			t.Fatalf("estimate %d: status %d: %s", i, resp.StatusCode, body)
+		}
+		var er estimateResponse
+		if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+			t.Fatalf("decode response: %v", err)
+		}
+		if len(er.Estimates) != 1 {
+			t.Fatalf("got %d estimates, want 1", len(er.Estimates))
+		}
+		got := er.Estimates[0]
+		if got.Version == 0 {
+			t.Fatal("response missing snapshot version")
+		}
+		// eps[i] was encoded from the same plan; the wire round trip must not
+		// perturb the estimate.
+		sched := svc.sched
+		res, err := sched.Submit(t.Context(), eps[i])
+		if err != nil {
+			t.Fatalf("direct submit: %v", err)
+		}
+		if got.Cost != res.Cost || got.Card != res.Card {
+			t.Fatalf("wire estimate (%g,%g) != direct (%g,%g)", got.Cost, got.Card, res.Cost, res.Card)
+		}
+	}
+
+	// Multi-plan request: one response entry per plan, same order.
+	resp := postJSON(t, ts.URL+"/estimate", estimateRequest{
+		Plans: []*WirePlan{EncodeWire(plans[3]), EncodeWire(plans[4])},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("multi-plan status %d", resp.StatusCode)
+	}
+	var er estimateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(er.Estimates) != 2 {
+		t.Fatalf("got %d estimates for 2 plans", len(er.Estimates))
+	}
+}
+
+// TestHTTPSamplezServesValidRequest: the /samplez body must itself be a
+// servable /estimate request — the discovery contract the smoke test uses.
+func TestHTTPSamplezServesValidRequest(t *testing.T) {
+	_, _, ts := newTestService(t)
+	resp, err := http.Get(ts.URL + "/samplez")
+	if err != nil {
+		t.Fatalf("get samplez: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("samplez status %d", resp.StatusCode)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp2, err := http.Post(ts.URL+"/estimate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("post sample: %v", err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp2.Body)
+		t.Fatalf("sample request not servable: %d: %s", resp2.StatusCode, b)
+	}
+}
+
+// TestHTTPBadRequests: malformed bodies are 400s at the boundary and never
+// occupy a queue slot.
+func TestHTTPBadRequests(t *testing.T) {
+	_, sched, ts := newTestService(t)
+	before := sched.Stats().Admitted
+	cases := []string{
+		`{`,                          // broken JSON
+		`{}`,                         // no plan
+		`{"plan":{"op":"fullscan"}}`, // unknown operator
+		`{"plan":{"op":"seqscan"}}`,  // scan without table
+		`{"plan":{"op":"hashjoin"}}`, // join without inputs
+		`{"plan":{"op":"seqscan","table":"title"},"bogus":1}`,                                                                        // unknown field
+		`{"plan":{"op":"seqscan","table":"title","filter":{"atom":{"table":"title","column":"production_year","op":"in","num":3}}}}`, // op/operand mismatch
+	}
+	for _, body := range cases {
+		resp, err := http.Post(ts.URL+"/estimate", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("post: %v", err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("body %q: status %d, want 400", body, resp.StatusCode)
+		}
+	}
+	if after := sched.Stats().Admitted; after != before {
+		t.Fatalf("bad requests reached the queue: admitted %d -> %d", before, after)
+	}
+	resp, err := http.Get(ts.URL + "/estimate")
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /estimate: status %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestHTTPReadinessAndDrain: /readyz gates on SetReady and flips unready the
+// moment the scheduler drains; estimates during the drain are 503s carrying
+// a Retry-After hint.
+func TestHTTPReadinessAndDrain(t *testing.T) {
+	plans, eps := testCorpus(t, 201, 12)
+	srv, _ := testServer(t, eps)
+	sched := NewScheduler(srv, SchedulerConfig{QueueDepth: 16, MaxBatch: 8})
+	sched.Start()
+	svc := NewService(sched, srv, testEnc)
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	defer sched.Close()
+
+	get := func(path string) int {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("get %s: %v", path, err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := get("/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz: %d", code)
+	}
+	if code := get("/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz before SetReady: %d, want 503", code)
+	}
+	resp := postJSON(t, ts.URL+"/estimate", estimateRequest{Plan: EncodeWire(plans[0])})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("estimate before ready: %d, want 503", resp.StatusCode)
+	}
+
+	svc.SetReady(true)
+	if code := get("/readyz"); code != http.StatusOK {
+		t.Fatalf("readyz after SetReady: %d", code)
+	}
+
+	sched.Close() // drain begins: readiness must flip with no extra call
+	if code := get("/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while draining: %d, want 503", code)
+	}
+	resp = postJSON(t, ts.URL+"/estimate", estimateRequest{Plan: EncodeWire(plans[0])})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("estimate while draining: %d, want 503", resp.StatusCode)
+	}
+	ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || ra < 1 {
+		t.Fatalf("503 without usable Retry-After: %q", resp.Header.Get("Retry-After"))
+	}
+}
+
+// TestHTTPStatsz: the observability endpoint reports scheduler counters, the
+// generation-tagged pool, and the snapshot drain-list high water.
+func TestHTTPStatsz(t *testing.T) {
+	plans, _ := testCorpus(t, 201, 12)
+	_, _, ts := newTestService(t)
+	postJSON(t, ts.URL+"/estimate", estimateRequest{Plan: EncodeWire(plans[0])})
+
+	resp, err := http.Get(ts.URL + "/statsz")
+	if err != nil {
+		t.Fatalf("get statsz: %v", err)
+	}
+	defer resp.Body.Close()
+	var st struct {
+		Version   uint64         `json:"version"`
+		Scheduler SchedulerStats `json:"scheduler"`
+		Pool      *struct {
+			Bound     int     `json:"bound"`
+			StaleRate float64 `json:"stale_rate"`
+		} `json:"pool"`
+		Drain struct {
+			Retired          int `json:"Retired"`
+			RetiredHighWater int `json:"RetiredHighWater"`
+		} `json:"snapshot_drain"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decode statsz: %v", err)
+	}
+	if st.Version == 0 {
+		t.Fatal("statsz missing snapshot version")
+	}
+	if st.Scheduler.Served < 1 || st.Scheduler.Batches < 1 {
+		t.Fatalf("statsz scheduler counters empty: %+v", st.Scheduler)
+	}
+	if st.Pool == nil || st.Pool.Bound != 2048 {
+		t.Fatalf("statsz pool = %+v, want bound 2048", st.Pool)
+	}
+	if st.Drain.RetiredHighWater < 0 || st.Drain.Retired > st.Drain.RetiredHighWater {
+		t.Fatalf("statsz drain inconsistent: %+v", st.Drain)
+	}
+}
+
+// TestWireRoundTrip: encode → JSON → decode must reproduce the exact plan
+// (same signature, same features, bit-identical estimate) for every plan in
+// a mixed corpus.
+func TestWireRoundTrip(t *testing.T) {
+	plans, eps := testCorpus(t, 202, 16)
+	srv, _ := testServer(t, eps)
+	m := srv.Snapshot().Model()
+	for i, p := range plans {
+		raw, err := json.Marshal(EncodeWire(p))
+		if err != nil {
+			t.Fatalf("plan %d: marshal: %v", i, err)
+		}
+		var w WirePlan
+		if err := json.Unmarshal(raw, &w); err != nil {
+			t.Fatalf("plan %d: unmarshal: %v", i, err)
+		}
+		back, err := w.Decode()
+		if err != nil {
+			t.Fatalf("plan %d: decode: %v\n%s", i, err, raw)
+		}
+		if got, want := back.Signature(), p.Signature(); got != want {
+			t.Fatalf("plan %d: signature drift\n got %s\nwant %s", i, got, want)
+		}
+		ep, err := testEnc.Encode(back)
+		if err != nil {
+			t.Fatalf("plan %d: re-encode: %v", i, err)
+		}
+		c0, d0 := m.Estimate(eps[i])
+		c1, d1 := m.Estimate(ep)
+		if c0 != c1 || d0 != d1 {
+			t.Fatalf("plan %d: estimate drift through wire: (%g,%g) vs (%g,%g)", i, c0, d0, c1, d1)
+		}
+	}
+}

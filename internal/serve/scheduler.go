@@ -1,0 +1,347 @@
+// Package serve is the networked serving runtime: it fronts a core.Server
+// with a dynamic micro-batching scheduler and an HTTP API (cmd/costestd is
+// the daemon around it). Concurrent requests fan into one bounded queue and
+// a dispatcher coalesces them into single EstimateBatch calls per size- or
+// deadline-bounded window — the inference-server batching idiom — while the
+// robustness contract does the real work:
+//
+//   - Admission control: the queue is bounded and Submit never blocks on a
+//     full queue; overload is an immediate ErrOverloaded (HTTP 503 +
+//     Retry-After), not unbounded growth.
+//   - Admitted means answered: every request that enters the queue receives
+//     exactly one response, even across dispatcher panics and shutdown.
+//   - Deadlines propagate: a request whose context expires while queued is
+//     answered with its context error before batch dispatch — never silently
+//     served late.
+//   - Graceful drain: Close stops admissions, flushes everything already
+//     admitted (concurrent publishes included), then returns.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"costest/internal/core"
+	"costest/internal/feature"
+)
+
+// Admission errors. Handlers map both to HTTP 503 with a Retry-After hint;
+// clients should back off and retry elsewhere or later.
+var (
+	// ErrOverloaded reports a full admission queue.
+	ErrOverloaded = errors.New("serve: queue full, request rejected")
+	// ErrDraining reports a scheduler that has stopped admitting (shutdown).
+	ErrDraining = errors.New("serve: draining, not admitting requests")
+)
+
+// SchedulerConfig tunes the micro-batching scheduler.
+type SchedulerConfig struct {
+	// QueueDepth bounds the admission queue; a full queue rejects instead of
+	// growing. <= 0 defaults to 256.
+	QueueDepth int
+	// MaxBatch caps how many requests one EstimateBatch call serves.
+	// <= 0 defaults to 64.
+	MaxBatch int
+	// BatchWindow is how long the dispatcher waits after a batch's first
+	// request for more to coalesce. 0 disables waiting: the dispatcher still
+	// drains whatever is already queued into one batch (greedy coalescing)
+	// but never delays a lone request.
+	BatchWindow time.Duration
+	// Workers is passed to Server.EstimateBatch (<= 0 means GOMAXPROCS).
+	Workers int
+}
+
+func (c SchedulerConfig) withDefaults() SchedulerConfig {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	return c
+}
+
+// Result is one served estimate and the snapshot version that produced it.
+type Result struct {
+	Cost    float64
+	Card    float64
+	Version uint64
+}
+
+// response is the dispatcher's answer to one request.
+type response struct {
+	res Result
+	err error
+}
+
+// request is one admitted estimate waiting for dispatch. done is buffered so
+// the dispatcher can always complete a request without blocking on its
+// waiter.
+type request struct {
+	ctx  context.Context
+	ep   *feature.EncodedPlan
+	done chan response
+}
+
+// SchedulerStats is a point-in-time counter snapshot.
+type SchedulerStats struct {
+	// Admission outcomes.
+	Admitted uint64 `json:"admitted"`
+	Rejected uint64 `json:"rejected"` // queue full at admission
+	Drained  uint64 `json:"drained"`  // rejected because draining
+	// Dispatch outcomes (admitted = served + expired + failed once idle).
+	Served  uint64 `json:"served"`
+	Expired uint64 `json:"expired"` // context expired before batch dispatch
+	Failed  uint64 `json:"failed"`  // answered with an estimator error
+	Panics  uint64 `json:"panics"`  // dispatcher panics survived
+	// Coalescing.
+	Batches        uint64  `json:"batches"`
+	MeanBatch      float64 `json:"mean_batch"`
+	QueueHighWater int     `json:"queue_high_water"`
+	QueueDepth     int     `json:"queue_depth"`
+}
+
+// Scheduler is the micro-batching front end over a core.Server. Create with
+// NewScheduler, start the dispatcher with Start, stop with Close.
+type Scheduler struct {
+	srv *core.Server
+	cfg SchedulerConfig
+
+	// queue is the bounded fan-in channel decoupling producers from the
+	// dispatcher. Admission sends are non-blocking; the dispatcher is the
+	// only receiver.
+	queue chan *request
+
+	// admitMu linearizes admission against Close: Submit sends while holding
+	// the read side, Close flips draining and closes the queue under the
+	// write side, so no send can race the close and every request admitted
+	// before the drain decision is in the queue when the dispatcher flushes.
+	admitMu  sync.RWMutex
+	draining bool
+
+	wg sync.WaitGroup
+
+	admitted, rejected, drained  atomic.Uint64
+	served, expired, failed      atomic.Uint64
+	panics, batches, batchedReqs atomic.Uint64
+	queueHW                      atomic.Int64
+
+	// dispatcher-owned scratch (single goroutine, reused across batches).
+	batch []*request
+	live  []*request
+	eps   []*feature.EncodedPlan
+	timer *time.Timer
+}
+
+// NewScheduler builds a scheduler over srv. Call Start before Submit;
+// requests submitted to an unstarted scheduler queue up (and are rejected
+// once the queue fills) but are not dispatched.
+func NewScheduler(srv *core.Server, cfg SchedulerConfig) *Scheduler {
+	cfg = cfg.withDefaults()
+	s := &Scheduler{
+		srv:   srv,
+		cfg:   cfg,
+		queue: make(chan *request, cfg.QueueDepth),
+		batch: make([]*request, 0, cfg.MaxBatch),
+		live:  make([]*request, 0, cfg.MaxBatch),
+		eps:   make([]*feature.EncodedPlan, 0, cfg.MaxBatch),
+		timer: time.NewTimer(time.Hour),
+	}
+	if !s.timer.Stop() {
+		<-s.timer.C
+	}
+	return s
+}
+
+// Start launches the dispatcher goroutine. Start once; Close stops it.
+func (s *Scheduler) Start() {
+	s.wg.Add(1)
+	go s.dispatch()
+}
+
+// Submit admits one plan for batched estimation and blocks until its batch
+// is served (or its admission is refused). The contract:
+//
+//   - A full queue returns ErrOverloaded immediately — Submit never blocks
+//     on admission, so overload backpressure reaches callers at once.
+//   - After Close has begun draining, Submit returns ErrDraining.
+//   - An admitted request always gets exactly one answer. If ctx expires
+//     before its batch dispatches, that answer is ctx's error; an admitted
+//     request is never silently served late or dropped.
+func (s *Scheduler) Submit(ctx context.Context, ep *feature.EncodedPlan) (Result, error) {
+	r := &request{ctx: ctx, ep: ep, done: make(chan response, 1)}
+	s.admitMu.RLock()
+	if s.draining {
+		s.admitMu.RUnlock()
+		s.drained.Add(1)
+		return Result{}, ErrDraining
+	}
+	select {
+	case s.queue <- r:
+	default:
+		s.admitMu.RUnlock()
+		s.rejected.Add(1)
+		return Result{}, ErrOverloaded
+	}
+	s.admitMu.RUnlock()
+	s.admitted.Add(1)
+	if d := int64(len(s.queue)); d > s.queueHW.Load() {
+		// Racy high-water update is fine: the mark is a diagnostic floor.
+		s.queueHW.Store(d)
+	}
+	// Admitted: the dispatcher owns the request now and is guaranteed to
+	// answer (drain contract), so waiting on done alone cannot hang.
+	resp := <-r.done
+	return resp.res, resp.err
+}
+
+// Close drains the scheduler: admission stops (Submit returns ErrDraining),
+// everything already admitted is flushed through the dispatcher, and Close
+// returns once the last response has been delivered. Safe to call once;
+// subsequent Submits keep failing fast.
+func (s *Scheduler) Close() {
+	s.admitMu.Lock()
+	if s.draining {
+		s.admitMu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.draining = true
+	close(s.queue) // no sender can be in flight: sends hold admitMu.RLock
+	s.admitMu.Unlock()
+	s.wg.Wait()
+}
+
+// Draining reports whether Close has begun: once true, Submit fails fast
+// with ErrDraining (readiness probes flip unready on it).
+func (s *Scheduler) Draining() bool {
+	s.admitMu.RLock()
+	defer s.admitMu.RUnlock()
+	return s.draining
+}
+
+// Stats returns a snapshot of the scheduler's counters.
+func (s *Scheduler) Stats() SchedulerStats {
+	st := SchedulerStats{
+		Admitted:       s.admitted.Load(),
+		Rejected:       s.rejected.Load(),
+		Drained:        s.drained.Load(),
+		Served:         s.served.Load(),
+		Expired:        s.expired.Load(),
+		Failed:         s.failed.Load(),
+		Panics:         s.panics.Load(),
+		Batches:        s.batches.Load(),
+		QueueHighWater: int(s.queueHW.Load()),
+		QueueDepth:     len(s.queue),
+	}
+	if st.Batches > 0 {
+		st.MeanBatch = float64(s.batchedReqs.Load()) / float64(st.Batches)
+	}
+	return st
+}
+
+// dispatch is the single consumer: it blocks for a batch's first request,
+// coalesces more up to MaxBatch or the BatchWindow deadline, and serves the
+// batch with one EstimateBatch call. A closed queue (Close) drains naturally:
+// buffered requests keep arriving until the channel reports empty-and-closed,
+// and every one of them is answered before the goroutine exits.
+func (s *Scheduler) dispatch() {
+	defer s.wg.Done()
+	for {
+		first, ok := <-s.queue
+		if !ok {
+			return
+		}
+		s.batch = append(s.batch[:0], first)
+		s.coalesce()
+		s.runBatch(s.batch)
+	}
+}
+
+// coalesce fills the current batch from the queue: greedily when no window
+// is configured, otherwise waiting up to BatchWindow past the first request
+// for stragglers. The window is what turns concurrent load into large
+// batches; a lone request still ships after at most BatchWindow.
+func (s *Scheduler) coalesce() {
+	for len(s.batch) < s.cfg.MaxBatch {
+		select {
+		case r, ok := <-s.queue:
+			if !ok {
+				return
+			}
+			s.batch = append(s.batch, r)
+			continue
+		default:
+		}
+		if s.cfg.BatchWindow <= 0 {
+			return
+		}
+		s.timer.Reset(s.cfg.BatchWindow)
+		windowOpen := true
+		for windowOpen && len(s.batch) < s.cfg.MaxBatch {
+			select {
+			case r, ok := <-s.queue:
+				if !ok {
+					windowOpen = false
+				} else {
+					s.batch = append(s.batch, r)
+				}
+			case <-s.timer.C:
+				return // timer fired: no drain needed on this path
+			}
+		}
+		if !s.timer.Stop() {
+			<-s.timer.C
+		}
+		return
+	}
+}
+
+// runBatch answers every request in the batch: expired ones with their
+// context error before dispatch, the rest from one EstimateBatch call (or
+// the batch's failure, if the estimator errored — a panic fails only this
+// batch's requests, never the dispatcher).
+func (s *Scheduler) runBatch(batch []*request) {
+	s.live, s.eps = s.live[:0], s.eps[:0]
+	for _, r := range batch {
+		if err := r.ctx.Err(); err != nil {
+			s.expired.Add(1)
+			r.done <- response{err: fmt.Errorf("serve: request expired before dispatch: %w", err)}
+			continue
+		}
+		s.live = append(s.live, r)
+		s.eps = append(s.eps, r.ep)
+	}
+	if len(s.live) == 0 {
+		return
+	}
+	ests, version, err := s.estimateBatch(s.eps)
+	s.batches.Add(1)
+	s.batchedReqs.Add(uint64(len(s.live)))
+	for i, r := range s.live {
+		if err != nil {
+			s.failed.Add(1)
+			r.done <- response{err: err}
+			continue
+		}
+		s.served.Add(1)
+		r.done <- response{res: Result{Cost: ests[i].Cost, Card: ests[i].Card, Version: version}}
+	}
+}
+
+// estimateBatch wraps the model call in panic recovery so one poisoned plan
+// cannot take the dispatcher (and with it every future request) down.
+func (s *Scheduler) estimateBatch(eps []*feature.EncodedPlan) (ests []core.Estimate, version uint64, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			s.panics.Add(1)
+			ests, err = nil, fmt.Errorf("serve: estimator panic: %v", p)
+		}
+	}()
+	ests, version = s.srv.EstimateBatch(eps, s.cfg.Workers)
+	return ests, version, nil
+}

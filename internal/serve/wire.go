@@ -1,0 +1,318 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+
+	"costest/internal/plan"
+	"costest/internal/sqlpred"
+)
+
+// The wire plan format: a JSON representation of the physical plan algebra
+// (internal/plan) that an optimizer posts to /estimate. It mirrors the plan
+// tree one-to-one — operators by name, predicates as atom/bool trees — and
+// decodes with full validation, so malformed requests die at the HTTP
+// boundary with a 400 instead of reaching the dispatcher.
+
+// WirePlan is one plan node.
+type WirePlan struct {
+	// Op names the physical operator: seqscan, indexscan, hashjoin,
+	// mergejoin, nestedloop, sort, aggregate.
+	Op        string    `json:"op"`
+	Table     string    `json:"table,omitempty"`
+	Index     string    `json:"index,omitempty"`
+	Filter    *WirePred `json:"filter,omitempty"`
+	IndexCond *WireAtom `json:"index_cond,omitempty"`
+	Join      *WireJoin `json:"join,omitempty"`
+	ParamJoin *WireJoin `json:"param_join,omitempty"`
+	SortKeys  []WireCol `json:"sort_keys,omitempty"`
+	Aggs      []WireAgg `json:"aggs,omitempty"`
+	Left      *WirePlan `json:"left,omitempty"`
+	Right     *WirePlan `json:"right,omitempty"`
+}
+
+// WirePred is a predicate tree node: exactly one of Atom or (Bool, Left,
+// Right) is set.
+type WirePred struct {
+	Bool  string    `json:"bool,omitempty"` // "and" | "or"
+	Left  *WirePred `json:"left,omitempty"`
+	Right *WirePred `json:"right,omitempty"`
+	Atom  *WireAtom `json:"atom,omitempty"`
+}
+
+// WireAtom is one atomic predicate ⟨column, operator, operand⟩.
+type WireAtom struct {
+	Table  string `json:"table"`
+	Column string `json:"column"`
+	// Op is one of: =, !=, <, >, <=, >=, like, "not like", in.
+	Op string `json:"op"`
+	// Exactly one operand family, mirroring sqlpred.Atom.
+	Num *float64 `json:"num,omitempty"`
+	Str *string  `json:"str,omitempty"`
+	In  []string `json:"in,omitempty"`
+}
+
+// WireJoin is an equi-join condition.
+type WireJoin struct {
+	Left  WireCol `json:"left"`
+	Right WireCol `json:"right"`
+}
+
+// WireCol names a column.
+type WireCol struct {
+	Table  string `json:"table"`
+	Column string `json:"column"`
+}
+
+// WireAgg is one output aggregate.
+type WireAgg struct {
+	Func string   `json:"func"` // min | max | count
+	Col  *WireCol `json:"col,omitempty"`
+}
+
+var wireOps = map[string]plan.NodeType{
+	"seqscan":    plan.SeqScan,
+	"indexscan":  plan.IndexScan,
+	"hashjoin":   plan.HashJoin,
+	"mergejoin":  plan.MergeJoin,
+	"nestedloop": plan.NestedLoop,
+	"sort":       plan.Sort,
+	"aggregate":  plan.Aggregate,
+}
+
+var wirePlanOps = func() map[plan.NodeType]string {
+	m := make(map[plan.NodeType]string, len(wireOps))
+	for name, t := range wireOps {
+		m[t] = name
+	}
+	return m
+}()
+
+var wireAtomOps = map[string]sqlpred.Op{
+	"=":        sqlpred.OpEq,
+	"!=":       sqlpred.OpNe,
+	"<":        sqlpred.OpLt,
+	">":        sqlpred.OpGt,
+	"<=":       sqlpred.OpLe,
+	">=":       sqlpred.OpGe,
+	"like":     sqlpred.OpLike,
+	"not like": sqlpred.OpNotLike,
+	"in":       sqlpred.OpIn,
+}
+
+// Decode converts the wire plan into a plan.Node tree, validating operator
+// and predicate shapes. Schema validity (table/column existence) is checked
+// downstream by the feature encoder against its catalog.
+func (w *WirePlan) Decode() (*plan.Node, error) {
+	if w == nil {
+		return nil, fmt.Errorf("serve: empty plan")
+	}
+	t, ok := wireOps[strings.ToLower(w.Op)]
+	if !ok {
+		return nil, fmt.Errorf("serve: unknown operator %q", w.Op)
+	}
+	n := &plan.Node{Type: t, Table: w.Table, Index: w.Index}
+	if t.IsScan() && w.Table == "" {
+		return nil, fmt.Errorf("serve: %s without a table", w.Op)
+	}
+	var err error
+	if w.Filter != nil {
+		if n.Filter, err = w.Filter.decode(); err != nil {
+			return nil, err
+		}
+	}
+	if w.IndexCond != nil {
+		a, err := w.IndexCond.decode()
+		if err != nil {
+			return nil, err
+		}
+		n.IndexCond = a
+	}
+	if w.Join != nil {
+		n.JoinCond = &plan.JoinCond{Left: w.Join.Left.decode(), Right: w.Join.Right.decode()}
+	}
+	if w.ParamJoin != nil {
+		n.ParamJoin = &plan.JoinCond{Left: w.ParamJoin.Left.decode(), Right: w.ParamJoin.Right.decode()}
+	}
+	for _, k := range w.SortKeys {
+		n.SortKeys = append(n.SortKeys, k.decode())
+	}
+	for _, a := range w.Aggs {
+		spec, err := a.decode()
+		if err != nil {
+			return nil, err
+		}
+		n.Aggs = append(n.Aggs, spec)
+	}
+	if w.Left != nil {
+		if n.Left, err = w.Left.Decode(); err != nil {
+			return nil, err
+		}
+	}
+	if w.Right != nil {
+		if n.Right, err = w.Right.Decode(); err != nil {
+			return nil, err
+		}
+	}
+	if t.IsJoin() && (n.Left == nil || n.Right == nil) {
+		return nil, fmt.Errorf("serve: %s needs two inputs", w.Op)
+	}
+	if (t == plan.Sort || t == plan.Aggregate) && n.Left == nil {
+		return nil, fmt.Errorf("serve: %s needs an input", w.Op)
+	}
+	return n, nil
+}
+
+func (w *WirePred) decode() (sqlpred.Pred, error) {
+	switch {
+	case w == nil:
+		return nil, fmt.Errorf("serve: empty predicate node")
+	case w.Atom != nil && w.Bool == "":
+		return w.Atom.decode()
+	case w.Atom == nil && w.Bool != "":
+		var kind sqlpred.BoolKind
+		switch strings.ToLower(w.Bool) {
+		case "and":
+			kind = sqlpred.And
+		case "or":
+			kind = sqlpred.Or
+		default:
+			return nil, fmt.Errorf("serve: unknown connective %q", w.Bool)
+		}
+		if w.Left == nil || w.Right == nil {
+			return nil, fmt.Errorf("serve: %s needs two operands", w.Bool)
+		}
+		l, err := w.Left.decode()
+		if err != nil {
+			return nil, err
+		}
+		r, err := w.Right.decode()
+		if err != nil {
+			return nil, err
+		}
+		return &sqlpred.Bool{Kind: kind, Left: l, Right: r}, nil
+	default:
+		return nil, fmt.Errorf("serve: predicate node must set exactly one of atom or bool")
+	}
+}
+
+func (w *WireAtom) decode() (*sqlpred.Atom, error) {
+	op, ok := wireAtomOps[strings.ToLower(w.Op)]
+	if !ok {
+		return nil, fmt.Errorf("serve: unknown predicate operator %q", w.Op)
+	}
+	if w.Table == "" || w.Column == "" {
+		return nil, fmt.Errorf("serve: predicate atom needs table and column")
+	}
+	a := &sqlpred.Atom{Table: w.Table, Column: w.Column, Op: op}
+	operands := 0
+	if w.Num != nil {
+		a.NumVal = *w.Num
+		operands++
+	}
+	if w.Str != nil {
+		a.StrVal, a.IsStr = *w.Str, true
+		operands++
+	}
+	if len(w.In) > 0 {
+		a.InVals, a.IsStr = w.In, true
+		operands++
+	}
+	if operands != 1 {
+		return nil, fmt.Errorf("serve: predicate atom on %s.%s needs exactly one operand (num, str or in)",
+			w.Table, w.Column)
+	}
+	if (op == sqlpred.OpIn) != (len(w.In) > 0) {
+		return nil, fmt.Errorf("serve: operator %q and operand kind disagree on %s.%s", w.Op, w.Table, w.Column)
+	}
+	return a, nil
+}
+
+func (w WireCol) decode() plan.ColRef { return plan.ColRef{Table: w.Table, Column: w.Column} }
+
+func (w WireAgg) decode() (plan.AggSpec, error) {
+	var f plan.AggFunc
+	switch strings.ToLower(w.Func) {
+	case "min":
+		f = plan.AggMin
+	case "max":
+		f = plan.AggMax
+	case "count":
+		f = plan.AggCount
+	default:
+		return plan.AggSpec{}, fmt.Errorf("serve: unknown aggregate %q", w.Func)
+	}
+	spec := plan.AggSpec{Func: f}
+	if w.Col != nil {
+		spec.Col = w.Col.decode()
+	}
+	return spec, nil
+}
+
+// EncodeWire converts a plan.Node tree into its wire form — the server's
+// /samplez endpoint uses it to hand clients a valid example request, and
+// round-tripping it through Decode is the format's own regression test.
+func EncodeWire(n *plan.Node) *WirePlan {
+	if n == nil {
+		return nil
+	}
+	w := &WirePlan{Op: wirePlanOps[n.Type], Table: n.Table, Index: n.Index}
+	w.Filter = encodeWirePred(n.Filter)
+	if n.IndexCond != nil {
+		w.IndexCond = encodeWireAtom(n.IndexCond)
+	}
+	if n.JoinCond != nil {
+		w.Join = &WireJoin{Left: encodeWireCol(n.JoinCond.Left), Right: encodeWireCol(n.JoinCond.Right)}
+	}
+	if n.ParamJoin != nil {
+		w.ParamJoin = &WireJoin{Left: encodeWireCol(n.ParamJoin.Left), Right: encodeWireCol(n.ParamJoin.Right)}
+	}
+	for _, k := range n.SortKeys {
+		w.SortKeys = append(w.SortKeys, encodeWireCol(k))
+	}
+	for _, a := range n.Aggs {
+		wa := WireAgg{Func: strings.ToLower(a.Func.String())}
+		if a.Col != (plan.ColRef{}) {
+			col := encodeWireCol(a.Col)
+			wa.Col = &col
+		}
+		w.Aggs = append(w.Aggs, wa)
+	}
+	w.Left = EncodeWire(n.Left)
+	w.Right = EncodeWire(n.Right)
+	return w
+}
+
+func encodeWirePred(p sqlpred.Pred) *WirePred {
+	switch n := p.(type) {
+	case nil:
+		return nil
+	case *sqlpred.Atom:
+		return &WirePred{Atom: encodeWireAtom(n)}
+	case *sqlpred.Bool:
+		return &WirePred{
+			Bool:  strings.ToLower(n.Kind.String()),
+			Left:  encodeWirePred(n.Left),
+			Right: encodeWirePred(n.Right),
+		}
+	default:
+		return nil
+	}
+}
+
+func encodeWireAtom(a *sqlpred.Atom) *WireAtom {
+	w := &WireAtom{Table: a.Table, Column: a.Column, Op: strings.ToLower(a.Op.String())}
+	switch {
+	case a.Op == sqlpred.OpIn:
+		w.In = a.InVals
+	case a.IsStr:
+		s := a.StrVal
+		w.Str = &s
+	default:
+		n := a.NumVal
+		w.Num = &n
+	}
+	return w
+}
+
+func encodeWireCol(c plan.ColRef) WireCol { return WireCol{Table: c.Table, Column: c.Column} }

@@ -1,34 +1,53 @@
 #!/bin/sh
-# Regenerates the hot-path benchmark snapshot (BENCH_INFERENCE.json by
-# default) so the perf trajectory of the inference runtime is tracked in-tree.
-# Usage: scripts/bench_json.sh [output.json]
+# Regenerates a benchmark snapshot so the perf trajectory of the runtime is
+# tracked in-tree. Two suites:
+#
+#   scripts/bench_json.sh [BENCH_INFERENCE.json] [inference]   hot-path kernels
+#   scripts/bench_json.sh BENCH_SERVE.json serve               networked daemon
+#
+# Custom benchmark metrics (mean_batch/op, p99_ns/op, ...) are captured
+# alongside ns/op into the JSON.
 set -eu
 
 out="${1:-BENCH_INFERENCE.json}"
+suite="${2:-inference}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
-go test ./internal/core/ -run xxx \
-    -bench 'BenchmarkForwardSingle|BenchmarkForwardPooled|BenchmarkPoolGetParallel|BenchmarkEstimateBatch|BenchmarkTrainEpoch|BenchmarkTrainEpochParallel|BenchmarkPublish|BenchmarkServer|BenchmarkFitParallel' \
-    -benchmem -benchtime=1s >"$tmp"
-go test ./internal/tensor/ -run xxx -bench . -benchmem -benchtime=1s >>"$tmp"
+case "$suite" in
+inference)
+    go test ./internal/core/ -run xxx \
+        -bench 'BenchmarkForwardSingle|BenchmarkForwardPooled|BenchmarkPoolGetParallel|BenchmarkEstimateBatch|BenchmarkTrainEpoch|BenchmarkTrainEpochParallel|BenchmarkPublish|BenchmarkServer|BenchmarkFitParallel' \
+        -benchmem -benchtime=1s >"$tmp"
+    go test ./internal/tensor/ -run xxx -bench . -benchmem -benchtime=1s >>"$tmp"
+    ;;
+serve)
+    go test ./internal/serve/ -run xxx -bench 'BenchmarkScheduler' \
+        -benchmem -benchtime=1s >"$tmp"
+    ;;
+*)
+    echo "unknown suite: $suite (want inference or serve)" >&2
+    exit 2
+    ;;
+esac
 
 awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
 BEGIN { print "{"; printf "  \"generated\": \"%s\",\n  \"benchmarks\": {\n", date; n = 0 }
 /^Benchmark/ {
     name = $1; sub(/-[0-9]+$/, "", name)
-    nsop = ""; bop = ""; allocs = ""
+    nsop = ""; extra = ""
     for (i = 2; i < NF; i++) {
-        if ($(i+1) == "ns/op") nsop = $i
-        if ($(i+1) == "B/op") bop = $i
-        if ($(i+1) == "allocs/op") allocs = $i
+        unit = $(i+1)
+        if (unit == "ns/op") { nsop = $i; continue }
+        if (unit !~ /\/op$/) continue
+        key = unit; sub(/\/op$/, "", key)
+        if (key == "B") key = "bytes_per_op"
+        else if (key == "allocs") key = "allocs_per_op"
+        extra = extra sprintf(", \"%s\": %s", key, $i)
     }
     if (nsop == "") next
     if (n++) printf ",\n"
-    printf "    \"%s\": {\"ns_per_op\": %s", name, nsop
-    if (bop != "") printf ", \"bytes_per_op\": %s", bop
-    if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
-    printf "}"
+    printf "    \"%s\": {\"ns_per_op\": %s%s}", name, nsop, extra
 }
 END { print "\n  }\n}" }
 ' "$tmp" >"$out"

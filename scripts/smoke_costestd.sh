@@ -1,0 +1,58 @@
+#!/bin/sh
+# End-to-end smoke test for the networked estimator daemon: build costestd,
+# start it cold (tiny substrate, short training), wait for readiness, serve
+# one estimate discovered via /samplez, then SIGTERM and require a graceful
+# exit (drain log line + exit status 0).
+# Run from the repository root: scripts/smoke_costestd.sh [port]
+set -eu
+
+port="${1:-18099}"
+bin="$(mktemp -d)/costestd"
+logf="$(mktemp)"
+pid=""
+cleanup() {
+    [ -n "$pid" ] && kill -9 "$pid" 2>/dev/null || true
+    rm -rf "$(dirname "$bin")" "$logf"
+}
+trap cleanup EXIT
+
+go build -o "$bin" ./cmd/costestd
+
+"$bin" -addr "127.0.0.1:$port" -scale 0.02 -queries 60 -epochs 2 >"$logf" 2>&1 &
+pid=$!
+
+base="http://127.0.0.1:$port"
+ready=""
+i=0
+while [ "$i" -lt 120 ]; do
+    if [ "$(curl -s -o /dev/null -w '%{http_code}' "$base/readyz" 2>/dev/null)" = 200 ]; then
+        ready=1
+        break
+    fi
+    kill -0 "$pid" 2>/dev/null || { echo "smoke_costestd: daemon died during startup"; cat "$logf"; exit 1; }
+    i=$((i + 1))
+    sleep 0.5
+done
+[ -n "$ready" ] || { echo "smoke_costestd: /readyz never became ready"; cat "$logf"; exit 1; }
+
+curl -sf "$base/healthz" >/dev/null || { echo "smoke_costestd: /healthz failed"; exit 1; }
+
+sample="$(curl -sf "$base/samplez")"
+resp="$(printf '%s' "$sample" | curl -sf -X POST --data @- "$base/estimate")"
+printf '%s' "$resp" | grep -q '"version": *[1-9]' || {
+    echo "smoke_costestd: /estimate returned no versioned estimate: $resp"
+    exit 1
+}
+curl -sf "$base/statsz" | grep -q '"served": *[1-9]' || {
+    echo "smoke_costestd: /statsz does not count the served request"
+    exit 1
+}
+
+kill -TERM "$pid"
+status=0
+wait "$pid" || status=$?
+pid=""
+[ "$status" -eq 0 ] || { echo "smoke_costestd: exit status $status after SIGTERM"; cat "$logf"; exit 1; }
+grep -q "drained clean" "$logf" || { echo "smoke_costestd: no drain log line"; cat "$logf"; exit 1; }
+
+echo "smoke_costestd: OK"
