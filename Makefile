@@ -6,7 +6,7 @@ PKGS := ./...
 BENCH_OUT ?= BENCH_INFERENCE.json
 BENCH_SERVE_OUT ?= BENCH_SERVE.json
 
-.PHONY: all build vet fmt-check test check bench bench-json bench-serve clean
+.PHONY: all build vet fmt-check test test-fault check bench bench-json bench-serve clean
 
 all: check
 
@@ -24,6 +24,15 @@ fmt-check:
 
 test:
 	$(GO) test $(PKGS)
+
+# Fault-tolerance suite under the race detector: the injector itself, the
+# crash-safe checkpoint I/O, the circuit breaker / degraded serving path,
+# and the daemon's supervisor + chaos acceptance scenario.
+test-fault:
+	$(GO) test -race -count=1 ./internal/fault/
+	$(GO) test -race -count=1 ./internal/core/ -run 'Checkpoint'
+	$(GO) test -race -count=1 ./internal/serve/ -run 'Breaker|RetryAfter|DegradedSurface'
+	$(GO) test -race -count=1 ./cmd/costestd/
 
 check: build vet fmt-check test
 

@@ -12,18 +12,28 @@
 //	GET  /statsz                            scheduler/pool/drain statistics
 //	GET  /samplez                           a valid example /estimate body
 //
+// The daemon is self-healing. Background retraining (-retrain) runs under a
+// supervisor: panicking cycles restart with exponential backoff, regressed
+// models are gated before publish (-gate-slack), and published models are
+// checkpointed crash-safely (-checkpoint, -checkpoint-every) — a kill at any
+// instant leaves a cold-loadable file. The serving path degrades instead of
+// failing: consecutive batch failures trip a circuit breaker
+// (-breaker-failures) into answering from the last-known-good snapshot,
+// with half-open probes (-breaker-cooldown) to recover. Chaos tests drive
+// all of it with -faults (deterministic, seedable fault injection).
+//
 // SIGTERM or SIGINT triggers a graceful drain: readiness flips, admission
 // stops (503 + Retry-After), in-flight batches finish, the HTTP server
 // shuts down, and the process exits 0.
 //
-//	go run ./cmd/costestd -addr :8080 -retrain 5s
+//	go run ./cmd/costestd -addr :8080 -retrain 5s -checkpoint /var/lib/costest/model.ckpt
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
-	"fmt"
+	"io/fs"
 	"log"
 	"net"
 	"net/http"
@@ -35,6 +45,7 @@ import (
 	"costest/internal/core"
 	"costest/internal/dataset"
 	"costest/internal/exec"
+	"costest/internal/fault"
 	"costest/internal/feature"
 	"costest/internal/pg"
 	"costest/internal/planner"
@@ -61,8 +72,24 @@ func main() {
 		workers    = flag.Int("workers", 0, "EstimateBatch workers (0 = GOMAXPROCS)")
 		poolBound  = flag.Int("pool", 4096, "representation pool entry bound")
 		retrain    = flag.Duration("retrain", 0, "background retrain+publish interval (0 disables)")
+
+		gateSlack = flag.Float64("gate-slack", 0.10, "allowed relative validation q-error regression before a retrained model is gated (negative disables the gate)")
+		ckptEvery = flag.Int("checkpoint-every", 1, "checkpoint every Nth published model (requires -checkpoint)")
+		brkFails  = flag.Int("breaker-failures", 3, "consecutive batch failures that trip degraded serving")
+		brkCool   = flag.Duration("breaker-cooldown", 250*time.Millisecond, "open-breaker wait before a half-open probe")
+		faults    = flag.String("faults", "", "fault injection spec, e.g. 'daemon.retrain:panic:count=2;serve.batch:error:p=0.1' (chaos testing only)")
+		faultSeed = flag.Int64("fault-seed", 1, "seed for probabilistic fault rules")
 	)
 	flag.Parse()
+
+	if *faults != "" {
+		inj, err := fault.ParseSpec(*faults, *faultSeed)
+		if err != nil {
+			log.Fatalf("costestd: -faults: %v", err)
+		}
+		fault.Enable(inj)
+		log.Printf("costestd: FAULT INJECTION ENABLED: %s (seed %d)", *faults, *faultSeed)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -104,14 +131,40 @@ func main() {
 	srv := core.NewServer(model, core.NewBoundedMemoryPool(*poolBound))
 	srv.EnablePrewarm(16)
 	sched := serve.NewScheduler(srv, serve.SchedulerConfig{
-		QueueDepth:  *queueDepth,
-		MaxBatch:    *maxBatch,
-		BatchWindow: *window,
-		Workers:     *workers,
+		QueueDepth:      *queueDepth,
+		MaxBatch:        *maxBatch,
+		BatchWindow:     *window,
+		Workers:         *workers,
+		BreakerFailures: *brkFails,
+		BreakerCooldown: *brkCool,
 	})
 	sched.Start()
 	svc := serve.NewService(sched, srv, enc)
 	svc.SetSample(sample)
+
+	// Supervised continuous train-and-serve loop: retrain cycles run under
+	// panic containment with backoff restarts, candidates publish only past
+	// the validation gate, and published models checkpoint crash-safely —
+	// the scheduler keeps serving whatever snapshot is current throughout.
+	// Wired before the HTTP server starts so /statsz never races the
+	// SupervisorStats installation.
+	retrainDone := make(chan struct{})
+	if *retrain > 0 {
+		sup := newSupervisor(srv, core.NewTrainer(model), eps, *seed)
+		sup.Interval = *retrain
+		sup.Workers = *workers
+		sup.GateSlack = *gateSlack
+		sup.CheckpointPath = *checkpoint
+		sup.CheckpointEvery = *ckptEvery
+		sup.logf = log.Printf
+		svc.SupervisorStats = sup.stats
+		go func() {
+			defer close(retrainDone)
+			sup.run(ctx)
+		}()
+	} else {
+		close(retrainDone)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -123,31 +176,6 @@ func main() {
 	svc.SetReady(true)
 	log.Printf("costestd: serving v%d on %s (%d params, queue %d, max batch %d, window %v)",
 		srv.Version(), ln.Addr(), model.NumParams(), *queueDepth, *maxBatch, *window)
-
-	// Optional continuous train-and-serve loop: retrain on the labeled
-	// corpus and delta-publish, while the scheduler keeps serving whatever
-	// snapshot is current.
-	retrainDone := make(chan struct{})
-	if *retrain > 0 {
-		trainer := core.NewTrainer(model)
-		go func() {
-			defer close(retrainDone)
-			tick := time.NewTicker(*retrain)
-			defer tick.Stop()
-			for {
-				select {
-				case <-ctx.Done():
-					return
-				case <-tick.C:
-					loss := trainer.TrainEpochBatched(eps, 16, *workers)
-					snap := trainer.PublishDelta(srv)
-					log.Printf("costestd: retrained (loss %.3f) -> published v%d", loss, snap.Version())
-				}
-			}
-		}()
-	} else {
-		close(retrainDone)
-	}
 
 	select {
 	case <-ctx.Done():
@@ -174,20 +202,24 @@ func main() {
 		st.Served, st.Batches, st.MeanBatch, st.Rejected)
 }
 
-// loadOrTrain cold-loads a self-describing checkpoint when one exists at
-// path, otherwise trains a model (publishing nothing yet) and, when path is
-// set, saves the result for the next cold start.
+// loadOrTrain cold-loads the crash-safe checkpoint at path (falling back to
+// its .prev last-good copy for torn or corrupt primaries), otherwise trains
+// a model and, when path is set, saves it atomically for the next cold
+// start. A corrupt checkpoint with no loadable fallback is loud — it means
+// durable state was lost — but never fatal: the daemon retrains from the
+// workload instead of crash-looping on a bad file.
 func loadOrTrain(path string, enc *feature.Encoder, eps []*feature.EncodedPlan,
 	epochs, shards, patience int) (*core.Model, error) {
 	if path != "" {
-		if f, err := os.Open(path); err == nil {
-			defer f.Close()
-			m, err := core.LoadModel(f, enc)
-			if err != nil {
-				return nil, fmt.Errorf("checkpoint %s: %w", path, err)
-			}
-			log.Printf("costestd: cold-loaded checkpoint %s", path)
+		m, src, err := core.LoadCheckpoint(path, enc)
+		switch {
+		case err == nil:
+			log.Printf("costestd: cold-loaded checkpoint %s", src)
 			return m, nil
+		case errors.Is(err, fs.ErrNotExist):
+			// First boot: nothing to load, nothing to warn about.
+		default:
+			log.Printf("costestd: CHECKPOINT UNRECOVERABLE, retraining from scratch: %v", err)
 		}
 	}
 	cut := len(eps) * 4 / 5
@@ -202,13 +234,8 @@ func loadOrTrain(path string, enc *feature.Encoder, eps []*feature.EncodedPlan,
 	log.Printf("costestd: trained %d/%d epochs in %v (valid q-error: cost %.2f, card %.2f)",
 		len(hist), epochs, time.Since(start).Round(time.Millisecond), last.ValidCost, last.ValidCard)
 	if path != "" {
-		f, err := os.Create(path)
-		if err != nil {
-			return nil, fmt.Errorf("save checkpoint: %w", err)
-		}
-		defer f.Close()
-		if err := m.Save(f); err != nil {
-			return nil, fmt.Errorf("save checkpoint: %w", err)
+		if err := core.SaveCheckpoint(path, m); err != nil {
+			return nil, err
 		}
 		log.Printf("costestd: saved checkpoint %s", path)
 	}

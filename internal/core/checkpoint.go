@@ -1,0 +1,125 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"costest/internal/fault"
+	"costest/internal/feature"
+)
+
+// Checkpoint file layout around a path P:
+//
+//	P        the current checkpoint (always a complete file — see below)
+//	P.prev   the previous checkpoint, kept as the last-good fallback
+//	P.tmp    in-progress write; never read, removed by the next save
+//
+// SaveCheckpoint never overwrites P in place: the new checkpoint is written
+// and fsynced to P.tmp, then P is renamed to P.prev and P.tmp to P — both
+// atomic on POSIX filesystems. A crash at any instant leaves a loadable
+// state:
+//
+//   - killed while writing P.tmp: P is the old, complete checkpoint;
+//   - killed between the two renames: P is briefly absent but P.prev is the
+//     old, complete checkpoint and LoadCheckpoint falls back to it;
+//   - killed after the final rename: P is the new checkpoint.
+//
+// Fault hook points: "checkpoint.write" (before the temp write),
+// "checkpoint.sync" (before fsync), "checkpoint.rename" (after the temp file
+// is durable, before any rename — a Crash here is the kill-mid-checkpoint
+// case the smoke test drives), "checkpoint.read" (before parsing a file).
+
+// SaveCheckpoint atomically replaces path with m's serialized checkpoint,
+// keeping the previous checkpoint at path+".prev" as a last-good fallback.
+// On any error the file at path is untouched.
+func SaveCheckpoint(path string, m *Model) error {
+	tmp := path + ".tmp"
+	_ = os.Remove(tmp) // stale leftover from a writer killed mid-checkpoint
+	if err := fault.Point("checkpoint.write"); err != nil {
+		return fmt.Errorf("core: checkpoint %s: %w", path, err)
+	}
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("core: checkpoint %s: %w", path, err)
+	}
+	if err := m.Save(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("core: checkpoint %s: %w", path, err)
+	}
+	syncErr := fault.Point("checkpoint.sync")
+	if syncErr == nil {
+		syncErr = f.Sync()
+	}
+	if syncErr != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("core: checkpoint %s: fsync: %w", path, syncErr)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("core: checkpoint %s: close: %w", path, err)
+	}
+	// The temp file is durable; make it current. A Crash injected here (or a
+	// real kill) leaves path intact — the cold-start still loads last-good.
+	if err := fault.Point("checkpoint.rename"); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("core: checkpoint %s: %w", path, err)
+	}
+	if _, err := os.Stat(path); err == nil {
+		if err := os.Rename(path, path+".prev"); err != nil {
+			os.Remove(tmp)
+			return fmt.Errorf("core: checkpoint %s: keep last-good: %w", path, err)
+		}
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("core: checkpoint %s: install: %w", path, err)
+	}
+	// Make the renames durable too (best effort: not every filesystem
+	// supports directory fsync, and the data files already are durable).
+	if d, err := os.Open(filepath.Dir(path)); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// LoadCheckpoint cold-loads the self-describing checkpoint at path,
+// falling back to path+".prev" when the primary is missing, corrupt or
+// truncated (the crash windows SaveCheckpoint can leave behind). It returns
+// the loaded model and the file that actually served it. When neither file
+// exists the error matches fs.ErrNotExist — "no checkpoint yet", distinct
+// from corruption, which reports every file it rejected.
+func LoadCheckpoint(path string, enc *feature.Encoder) (*Model, string, error) {
+	var corrupt []error
+	for _, p := range []string{path, path + ".prev"} {
+		m, err := loadCheckpointFile(p, enc)
+		if err == nil {
+			return m, p, nil
+		}
+		if !errors.Is(err, fs.ErrNotExist) {
+			corrupt = append(corrupt, fmt.Errorf("%s: %w", p, err))
+		}
+	}
+	if len(corrupt) == 0 {
+		return nil, "", fmt.Errorf("core: checkpoint %s: %w", path, fs.ErrNotExist)
+	}
+	return nil, "", fmt.Errorf("core: no loadable checkpoint: %w", errors.Join(corrupt...))
+}
+
+// loadCheckpointFile reads one checkpoint file through the injectable read
+// hook (chaos tests fail reads here without touching the filesystem).
+func loadCheckpointFile(p string, enc *feature.Encoder) (*Model, error) {
+	f, err := os.Open(p)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if err := fault.Point("checkpoint.read"); err != nil {
+		return nil, err
+	}
+	return LoadModel(f, enc)
+}

@@ -189,6 +189,20 @@ func (srv *Server) release(s *ModelSnapshot) {
 	}
 }
 
+// AcquireSnapshot checks the current snapshot out with an in-flight
+// reference held, exactly as a served request does. Unlike Snapshot (whose
+// pin is sticky and permanently excludes a delta snapshot's buffers from
+// recycling), an acquired reference is returned with ReleaseSnapshot, at
+// which point the buffers rejoin the recycling rotation — the right
+// primitive for rotating retention like the scheduler's last-known-good
+// fallback snapshot, which outlives publishes only until the next known-good
+// version replaces it. While held, the snapshot's weights are guaranteed
+// frozen.
+func (srv *Server) AcquireSnapshot() *ModelSnapshot { return srv.acquire() }
+
+// ReleaseSnapshot returns a reference taken by AcquireSnapshot.
+func (srv *Server) ReleaseSnapshot(s *ModelSnapshot) { srv.release(s) }
+
 // Version returns the currently served snapshot version.
 func (srv *Server) Version() uint64 { return srv.cur.Load().version }
 
@@ -435,22 +449,34 @@ func (srv *Server) Estimate(ep *feature.EncodedPlan) (cost, card float64, versio
 // the same version.
 func (srv *Server) EstimateBatch(eps []*feature.EncodedPlan, workers int) ([]Estimate, uint64) {
 	snap := srv.acquire()
+	out := srv.EstimateBatchOn(snap, eps, workers)
+	srv.release(snap)
+	return out, snap.version
+}
+
+// EstimateBatchOn is EstimateBatch against a snapshot the caller already
+// holds (acquired via AcquireSnapshot, or pinned): the caller's hold is what
+// keeps the weights frozen for the duration, so the batch is bit-identical
+// to a single-threaded evaluation of snap's version even when it is no
+// longer the currently served one. This is the serving path for callers that
+// need the exact snapshot identity back — the scheduler's circuit breaker
+// retains the snapshot of each successful batch as its degraded-mode
+// fallback.
+func (srv *Server) EstimateBatchOn(snap *ModelSnapshot, eps []*feature.EncodedPlan, workers int) []Estimate {
 	if len(eps) == 0 {
-		srv.release(snap)
-		return nil, snap.version
+		return nil
 	}
 	s := srv.batchSession(snap)
 	out := make([]Estimate, len(eps))
 	copy(out, s.EstimateBatchWithPool(eps, srv.pool, workers))
 	s.releasePlans()
 	srv.batchSessions.Put(s)
-	srv.release(snap)
 	if tr := srv.prewarm.Load(); tr != nil {
 		for _, ep := range eps {
 			tr.track(ep)
 		}
 	}
-	return out, snap.version
+	return out
 }
 
 // session checks a recycled inference session out of the pool, rebinding

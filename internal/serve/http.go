@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -24,12 +25,18 @@ type Service struct {
 	srv   *core.Server
 	enc   *feature.Encoder
 
-	// RetryAfter is the back-off hint attached to 503 responses (rounded up
-	// to whole seconds, minimum 1).
+	// RetryAfter floors the back-off hint attached to 503 responses. The
+	// actual hint is derived per response from the scheduler's current queue
+	// depth and batch window (see Scheduler.RetryAfterHint), plus a random
+	// jitter of up to half the hint so a synchronized rejection burst does
+	// not come back as a synchronized retry storm.
 	RetryAfter time.Duration
 	// MaxBodyBytes bounds request bodies (another unbounded-growth guard);
 	// <= 0 defaults to 1 MiB.
 	MaxBodyBytes int64
+	// SupervisorStats, when set, is rendered under "supervisor" in /statsz —
+	// the daemon installs its retrain supervisor's counters here.
+	SupervisorStats func() any
 
 	ready  atomic.Bool
 	sample atomic.Pointer[WirePlan]
@@ -61,11 +68,14 @@ type estimateRequest struct {
 	TimeoutMS int `json:"timeout_ms,omitempty"`
 }
 
-// wireEstimate is one estimate in a response.
+// wireEstimate is one estimate in a response. Degraded marks an answer from
+// the circuit breaker's fallback path: served from the last-known-good
+// snapshot (whose version it reports) instead of the freshest published one.
 type wireEstimate struct {
-	Cost    float64 `json:"cost"`
-	Card    float64 `json:"card"`
-	Version uint64  `json:"version"`
+	Cost     float64 `json:"cost"`
+	Card     float64 `json:"card"`
+	Version  uint64  `json:"version"`
+	Degraded bool    `json:"degraded,omitempty"`
 }
 
 type estimateResponse struct {
@@ -74,10 +84,12 @@ type estimateResponse struct {
 
 // statszResponse is the /statsz body.
 type statszResponse struct {
-	Version   uint64          `json:"version"`
-	Scheduler SchedulerStats  `json:"scheduler"`
-	Pool      *poolStats      `json:"pool,omitempty"`
-	Drain     core.DrainStats `json:"snapshot_drain"`
+	Version    uint64          `json:"version"`
+	Degraded   bool            `json:"degraded"`
+	Scheduler  SchedulerStats  `json:"scheduler"`
+	Pool       *poolStats      `json:"pool,omitempty"`
+	Drain      core.DrainStats `json:"snapshot_drain"`
+	Supervisor any             `json:"supervisor,omitempty"`
 }
 
 type poolStats struct {
@@ -117,20 +129,36 @@ func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
+// handleReadyz distinguishes the daemon's three non-nominal states: draining
+// (shutting down — stop sending traffic), not ready (no model yet), and
+// degraded (breaker open, still answering from the last-known-good snapshot
+// — an orchestrator should NOT kill a degraded daemon, it is the fallback).
 func (s *Service) handleReadyz(w http.ResponseWriter, r *http.Request) {
-	if !s.ready.Load() || s.sched.Draining() {
+	if s.sched.Draining() {
+		s.unavailable(w, "draining")
+		return
+	}
+	if !s.ready.Load() {
 		s.unavailable(w, "not ready")
 		return
 	}
 	w.WriteHeader(http.StatusOK)
+	if s.sched.Degraded() {
+		fmt.Fprintln(w, "degraded (serving from last-known-good snapshot)")
+		return
+	}
 	fmt.Fprintln(w, "ready")
 }
 
 func (s *Service) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	resp := statszResponse{
 		Version:   s.srv.Version(),
+		Degraded:  s.sched.Degraded(),
 		Scheduler: s.sched.Stats(),
 		Drain:     s.srv.SnapshotDrainStats(),
+	}
+	if s.SupervisorStats != nil {
+		resp.Supervisor = s.SupervisorStats()
 	}
 	if p := s.srv.Pool(); p != nil {
 		resp.Pool = &poolStats{
@@ -245,21 +273,44 @@ func (s *Service) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := estimateResponse{Estimates: make([]wireEstimate, len(results))}
 	for i, res := range results {
-		resp.Estimates[i] = wireEstimate{Cost: res.Cost, Card: res.Card, Version: res.Version}
+		resp.Estimates[i] = wireEstimate{
+			Cost:     res.Cost,
+			Card:     res.Card,
+			Version:  res.Version,
+			Degraded: res.Degraded,
+		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// unavailable writes a 503 with the Retry-After back-off hint — the
-// admission-control response: reject loudly and immediately, never queue
-// without bound.
+// unavailable writes a 503 with a Retry-After hint derived from the load the
+// daemon is actually under — queue depth over batch throughput — rather than
+// a constant: a client rejected by a nearly drained queue can retry almost
+// immediately, one rejected by a full queue should stay away for the time the
+// backlog needs. RetryAfter floors the hint; jitter (up to half the hint)
+// de-synchronizes retry storms.
 func (s *Service) unavailable(w http.ResponseWriter, msg string) {
-	secs := int(s.RetryAfter / time.Second)
-	if s.RetryAfter%time.Second != 0 || secs < 1 {
-		secs++
+	hint := s.sched.RetryAfterHint()
+	if hint < s.RetryAfter {
+		hint = s.RetryAfter
 	}
-	w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", retryAfterSecs(hint, rand.Float64())))
 	http.Error(w, msg, http.StatusServiceUnavailable)
+}
+
+// retryAfterSecs converts a back-off hint to whole seconds for the
+// Retry-After header: the hint plus jit-scaled jitter of up to half the hint,
+// rounded up, clamped to [1, 60]. Pure so tests can pin the jitter.
+func retryAfterSecs(hint time.Duration, jit float64) int {
+	jittered := hint + time.Duration(jit*float64(hint)/2)
+	secs := int((jittered + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

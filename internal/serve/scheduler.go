@@ -15,6 +15,11 @@
 //     served late.
 //   - Graceful drain: Close stops admissions, flushes everything already
 //     admitted (concurrent publishes included), then returns.
+//   - Degraded beats down: a circuit breaker on consecutive batch failures
+//     trips the dispatcher into a fallback path serving single-plan
+//     estimates from the last-known-good snapshot (flagged degraded), with
+//     half-open probing to recover — an estimator that starts failing turns
+//     into stale-but-correct answers, not an outage.
 package serve
 
 import (
@@ -26,6 +31,7 @@ import (
 	"time"
 
 	"costest/internal/core"
+	"costest/internal/fault"
 	"costest/internal/feature"
 )
 
@@ -53,6 +59,14 @@ type SchedulerConfig struct {
 	BatchWindow time.Duration
 	// Workers is passed to Server.EstimateBatch (<= 0 means GOMAXPROCS).
 	Workers int
+	// BreakerFailures is how many consecutive batch failures (estimator
+	// errors or panics) trip the circuit breaker into degraded serving.
+	// <= 0 defaults to 3.
+	BreakerFailures int
+	// BreakerCooldown is how long an open breaker serves pure fallback
+	// before a half-open probe retries the primary path. 0 defaults to
+	// 250ms; negative probes on every batch (useful in tests).
+	BreakerCooldown time.Duration
 }
 
 func (c SchedulerConfig) withDefaults() SchedulerConfig {
@@ -62,14 +76,24 @@ func (c SchedulerConfig) withDefaults() SchedulerConfig {
 	if c.MaxBatch <= 0 {
 		c.MaxBatch = 64
 	}
+	if c.BreakerFailures <= 0 {
+		c.BreakerFailures = 3
+	}
+	if c.BreakerCooldown == 0 {
+		c.BreakerCooldown = 250 * time.Millisecond
+	}
 	return c
 }
 
 // Result is one served estimate and the snapshot version that produced it.
+// Degraded marks an estimate served by the circuit breaker's fallback path:
+// still bit-identical to its reported (last-known-good) version, but not the
+// freshest published model and not micro-batched.
 type Result struct {
-	Cost    float64
-	Card    float64
-	Version uint64
+	Cost     float64
+	Card     float64
+	Version  uint64
+	Degraded bool
 }
 
 // response is the dispatcher's answer to one request.
@@ -103,6 +127,12 @@ type SchedulerStats struct {
 	MeanBatch      float64 `json:"mean_batch"`
 	QueueHighWater int     `json:"queue_high_water"`
 	QueueDepth     int     `json:"queue_depth"`
+	// Circuit breaker / degraded serving.
+	BreakerOpen     bool   `json:"breaker_open"`
+	BreakerTrips    uint64 `json:"breaker_trips"`
+	BreakerProbes   uint64 `json:"breaker_probes"` // half-open probes attempted
+	Degraded        uint64 `json:"degraded"`       // requests served from the fallback snapshot
+	FallbackVersion uint64 `json:"fallback_version"`
 }
 
 // Scheduler is the micro-batching front end over a core.Server. Create with
@@ -130,6 +160,19 @@ type Scheduler struct {
 	panics, batches, batchedReqs atomic.Uint64
 	queueHW                      atomic.Int64
 
+	// Circuit-breaker state. consecFails, good and lastTrip are
+	// dispatcher-owned (single goroutine); the atomics mirror what probes
+	// and Stats read concurrently.
+	consecFails    int
+	good           *core.ModelSnapshot // last-known-good, reference held
+	lastTrip       time.Time
+	brkOpen        atomic.Bool
+	trips, probes  atomic.Uint64
+	degradedServed atomic.Uint64
+	goodVersion    atomic.Uint64
+	// now is the breaker's clock (tests substitute a fake one).
+	now func() time.Time
+
 	// dispatcher-owned scratch (single goroutine, reused across batches).
 	batch []*request
 	live  []*request
@@ -150,6 +193,7 @@ func NewScheduler(srv *core.Server, cfg SchedulerConfig) *Scheduler {
 		live:  make([]*request, 0, cfg.MaxBatch),
 		eps:   make([]*feature.EncodedPlan, 0, cfg.MaxBatch),
 		timer: time.NewTimer(time.Hour),
+		now:   time.Now,
 	}
 	if !s.timer.Stop() {
 		<-s.timer.C
@@ -227,21 +271,47 @@ func (s *Scheduler) Draining() bool {
 // Stats returns a snapshot of the scheduler's counters.
 func (s *Scheduler) Stats() SchedulerStats {
 	st := SchedulerStats{
-		Admitted:       s.admitted.Load(),
-		Rejected:       s.rejected.Load(),
-		Drained:        s.drained.Load(),
-		Served:         s.served.Load(),
-		Expired:        s.expired.Load(),
-		Failed:         s.failed.Load(),
-		Panics:         s.panics.Load(),
-		Batches:        s.batches.Load(),
-		QueueHighWater: int(s.queueHW.Load()),
-		QueueDepth:     len(s.queue),
+		Admitted:        s.admitted.Load(),
+		Rejected:        s.rejected.Load(),
+		Drained:         s.drained.Load(),
+		Served:          s.served.Load(),
+		Expired:         s.expired.Load(),
+		Failed:          s.failed.Load(),
+		Panics:          s.panics.Load(),
+		Batches:         s.batches.Load(),
+		QueueHighWater:  int(s.queueHW.Load()),
+		QueueDepth:      len(s.queue),
+		BreakerOpen:     s.brkOpen.Load(),
+		BreakerTrips:    s.trips.Load(),
+		BreakerProbes:   s.probes.Load(),
+		Degraded:        s.degradedServed.Load(),
+		FallbackVersion: s.goodVersion.Load(),
 	}
 	if st.Batches > 0 {
 		st.MeanBatch = float64(s.batchedReqs.Load()) / float64(st.Batches)
 	}
 	return st
+}
+
+// Degraded reports whether the circuit breaker is open — the scheduler is
+// answering from the last-known-good snapshot instead of the primary batch
+// path. Readiness probes use it to report "degraded" distinctly from
+// "draining": a degraded daemon still answers.
+func (s *Scheduler) Degraded() bool { return s.brkOpen.Load() }
+
+// RetryAfterHint estimates how long a rejected client should wait before
+// retrying: the time for the dispatcher to drain everything currently queued
+// at the configured coalescing rate — ceil(depth/MaxBatch)+1 batches, each
+// costing at least a batch window (floored at 1ms of dispatch + model time).
+// HTTP 503s derive their Retry-After from this instead of a constant, so the
+// hint scales with how backed up the daemon actually is.
+func (s *Scheduler) RetryAfterHint() time.Duration {
+	per := s.cfg.BatchWindow
+	if per < time.Millisecond {
+		per = time.Millisecond
+	}
+	batches := len(s.queue)/s.cfg.MaxBatch + 1
+	return time.Duration(batches) * per
 }
 
 // dispatch is the single consumer: it blocks for a batch's first request,
@@ -251,6 +321,7 @@ func (s *Scheduler) Stats() SchedulerStats {
 // and every one of them is answered before the goroutine exits.
 func (s *Scheduler) dispatch() {
 	defer s.wg.Done()
+	defer s.releaseGood()
 	for {
 		first, ok := <-s.queue
 		if !ok {
@@ -259,6 +330,31 @@ func (s *Scheduler) dispatch() {
 		s.batch = append(s.batch[:0], first)
 		s.coalesce()
 		s.runBatch(s.batch)
+	}
+}
+
+// rotateGood makes snap the breaker's last-known-good fallback snapshot,
+// taking ownership of the caller's acquired reference. The previous holder's
+// reference is released, so at most one superseded snapshot is ever kept
+// alive by the breaker — its buffers rejoin the delta-publication rotation
+// the moment a newer batch succeeds.
+func (s *Scheduler) rotateGood(snap *core.ModelSnapshot) {
+	if s.good == snap {
+		s.srv.ReleaseSnapshot(snap) // same snapshot: drop the duplicate ref
+		return
+	}
+	if s.good != nil {
+		s.srv.ReleaseSnapshot(s.good)
+	}
+	s.good = snap
+	s.goodVersion.Store(snap.Version())
+}
+
+// releaseGood drops the fallback retention when the dispatcher exits.
+func (s *Scheduler) releaseGood() {
+	if s.good != nil {
+		s.srv.ReleaseSnapshot(s.good)
+		s.good = nil
 	}
 }
 
@@ -304,7 +400,20 @@ func (s *Scheduler) coalesce() {
 // runBatch answers every request in the batch: expired ones with their
 // context error before dispatch, the rest from one EstimateBatch call (or
 // the batch's failure, if the estimator errored — a panic fails only this
-// batch's requests, never the dispatcher).
+// batch's requests, never the dispatcher). The circuit breaker wraps the
+// primary call:
+//
+//   - closed: batches run normally; each failure increments a consecutive
+//     counter, and hitting BreakerFailures trips the breaker open.
+//   - open, inside BreakerCooldown: the primary path is not even tried —
+//     every request is answered from the last-known-good snapshot, one
+//     single-plan Estimate each, flagged degraded.
+//   - open, cooldown elapsed: the batch is a half-open probe through the
+//     primary path. Success closes the breaker; failure re-arms the
+//     cooldown and the batch falls back to degraded answers.
+//
+// A failing batch with no fallback yet (no batch ever succeeded) is
+// answered with its error — there is nothing stale-but-correct to serve.
 func (s *Scheduler) runBatch(batch []*request) {
 	s.live, s.eps = s.live[:0], s.eps[:0]
 	for _, r := range batch {
@@ -319,29 +428,109 @@ func (s *Scheduler) runBatch(batch []*request) {
 	if len(s.live) == 0 {
 		return
 	}
-	ests, version, err := s.estimateBatch(s.eps)
+
+	probing := false
+	if s.brkOpen.Load() {
+		if s.now().Sub(s.lastTrip) < s.cfg.BreakerCooldown {
+			s.serveDegraded(s.live)
+			return
+		}
+		probing = true
+		s.probes.Add(1)
+	}
+
+	ests, snap, err := s.estimateBatch(s.eps)
 	s.batches.Add(1)
 	s.batchedReqs.Add(uint64(len(s.live)))
+	if err != nil {
+		s.consecFails++
+		if probing {
+			s.lastTrip = s.now() // probe failed: re-arm the cooldown
+		} else if s.consecFails >= s.cfg.BreakerFailures && !s.brkOpen.Load() {
+			s.lastTrip = s.now()
+			s.trips.Add(1)
+			s.brkOpen.Store(true)
+		}
+		if s.brkOpen.Load() && s.good != nil {
+			s.serveDegraded(s.live)
+			return
+		}
+		for _, r := range s.live {
+			s.failed.Add(1)
+			r.done <- response{err: err}
+		}
+		return
+	}
+
+	// Success: reset the breaker and retain this exact snapshot as the new
+	// last-known-good fallback.
+	s.consecFails = 0
+	if s.brkOpen.Load() {
+		s.brkOpen.Store(false)
+	}
+	version := snap.Version()
+	s.rotateGood(snap)
 	for i, r := range s.live {
+		s.served.Add(1)
+		r.done <- response{res: Result{Cost: ests[i].Cost, Card: ests[i].Card, Version: version}}
+	}
+}
+
+// estimateBatch runs one batch through the primary path against an acquired
+// snapshot, returning the snapshot (still acquired — ownership passes to the
+// caller) on success. Panic recovery keeps one poisoned plan from taking the
+// dispatcher (and with it every future request) down; the "serve.batch"
+// fault hook is where chaos tests inject estimator failures.
+func (s *Scheduler) estimateBatch(eps []*feature.EncodedPlan) (ests []core.Estimate, snap *core.ModelSnapshot, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			if snap != nil {
+				s.srv.ReleaseSnapshot(snap)
+			}
+			s.panics.Add(1)
+			ests, snap, err = nil, nil, fmt.Errorf("serve: estimator panic: %v", p)
+		}
+	}()
+	if err := fault.Point("serve.batch"); err != nil {
+		return nil, nil, err
+	}
+	snap = s.srv.AcquireSnapshot()
+	ests = s.srv.EstimateBatchOn(snap, eps, s.cfg.Workers)
+	return ests, snap, nil
+}
+
+// serveDegraded answers every live request from the last-known-good
+// snapshot: one single-plan Estimate each against the retained snapshot's
+// frozen weights — no batching, no pool, nothing shared with the failing
+// primary path — flagged degraded and stamped with the fallback version, so
+// each answer is still bit-identical to a single-threaded evaluation of the
+// version it reports.
+func (s *Scheduler) serveDegraded(live []*request) {
+	for _, r := range live {
+		res, err := s.fallbackOne(r.ep)
 		if err != nil {
 			s.failed.Add(1)
 			r.done <- response{err: err}
 			continue
 		}
 		s.served.Add(1)
-		r.done <- response{res: Result{Cost: ests[i].Cost, Card: ests[i].Card, Version: version}}
+		s.degradedServed.Add(1)
+		r.done <- response{res: res}
 	}
 }
 
-// estimateBatch wraps the model call in panic recovery so one poisoned plan
-// cannot take the dispatcher (and with it every future request) down.
-func (s *Scheduler) estimateBatch(eps []*feature.EncodedPlan) (ests []core.Estimate, version uint64, err error) {
+// fallbackOne serves one plan from the fallback snapshot with its own panic
+// containment (a poisoned plan fails alone, degraded mode survives).
+func (s *Scheduler) fallbackOne(ep *feature.EncodedPlan) (res Result, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			s.panics.Add(1)
-			ests, err = nil, fmt.Errorf("serve: estimator panic: %v", p)
+			res, err = Result{}, fmt.Errorf("serve: degraded estimate panic: %v", p)
 		}
 	}()
-	ests, version = s.srv.EstimateBatch(eps, s.cfg.Workers)
-	return ests, version, nil
+	if s.good == nil {
+		return Result{}, errors.New("serve: degraded with no last-known-good snapshot")
+	}
+	cost, card := s.good.Model().Estimate(ep)
+	return Result{Cost: cost, Card: card, Version: s.good.Version(), Degraded: true}, nil
 }

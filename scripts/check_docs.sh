@@ -53,8 +53,10 @@ require_section PERFORMANCE.md "Hot-swap serving runtime"
 require_section PERFORMANCE.md "Data-parallel training runtime"
 require_section PERFORMANCE.md "Continuous train-and-serve loop"
 require_section PERFORMANCE.md "Networked estimator daemon"
+require_section PERFORMANCE.md "Fault tolerance layer"
 require_section ARCHITECTURE.md "Runtime layers"
 require_section ARCHITECTURE.md "Networked serving"
+require_section ARCHITECTURE.md "Fault tolerance"
 
 if [ "$status" -ne 0 ]; then
     echo "check_docs: FAILED — fix the stale references above"

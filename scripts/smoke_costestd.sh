@@ -1,39 +1,55 @@
 #!/bin/sh
-# End-to-end smoke test for the networked estimator daemon: build costestd,
-# start it cold (tiny substrate, short training), wait for readiness, serve
-# one estimate discovered via /samplez, then SIGTERM and require a graceful
-# exit (drain log line + exit status 0).
+# End-to-end smoke test for the networked estimator daemon, two scenarios:
+#
+#  1. Serve + graceful drain: build costestd, start it cold (tiny substrate,
+#     short training, checkpoint saved), wait for readiness, serve one
+#     estimate discovered via /samplez, then SIGTERM and require a graceful
+#     exit (drain log line + exit status 0).
+#  2. Kill mid-checkpoint: reboot against the saved checkpoint with an
+#     injected crash between the checkpoint's durable temp write and its
+#     rename (-faults 'checkpoint.rename:crash:count=1'). The process must
+#     die with the injected-crash status, the checkpoint file must be
+#     byte-identical to before the crash, and a third boot must still
+#     cold-load it.
+#
 # Run from the repository root: scripts/smoke_costestd.sh [port]
 set -eu
 
 port="${1:-18099}"
-bin="$(mktemp -d)/costestd"
+work="$(mktemp -d)"
+bin="$work/costestd"
+ckpt="$work/model.ckpt"
 logf="$(mktemp)"
 pid=""
 cleanup() {
     [ -n "$pid" ] && kill -9 "$pid" 2>/dev/null || true
-    rm -rf "$(dirname "$bin")" "$logf"
+    rm -rf "$work" "$logf"
 }
 trap cleanup EXIT
 
 go build -o "$bin" ./cmd/costestd
 
-"$bin" -addr "127.0.0.1:$port" -scale 0.02 -queries 60 -epochs 2 >"$logf" 2>&1 &
+# wait_ready polls /readyz until 200, failing loudly if the daemon dies.
+wait_ready() {
+    i=0
+    while [ "$i" -lt 120 ]; do
+        if [ "$(curl -s -o /dev/null -w '%{http_code}' "$base/readyz" 2>/dev/null)" = 200 ]; then
+            return 0
+        fi
+        kill -0 "$pid" 2>/dev/null || { echo "smoke_costestd: daemon died during startup"; cat "$logf"; exit 1; }
+        i=$((i + 1))
+        sleep 0.5
+    done
+    echo "smoke_costestd: /readyz never became ready"
+    cat "$logf"
+    exit 1
+}
+
+"$bin" -addr "127.0.0.1:$port" -scale 0.02 -queries 60 -epochs 2 -checkpoint "$ckpt" >"$logf" 2>&1 &
 pid=$!
 
 base="http://127.0.0.1:$port"
-ready=""
-i=0
-while [ "$i" -lt 120 ]; do
-    if [ "$(curl -s -o /dev/null -w '%{http_code}' "$base/readyz" 2>/dev/null)" = 200 ]; then
-        ready=1
-        break
-    fi
-    kill -0 "$pid" 2>/dev/null || { echo "smoke_costestd: daemon died during startup"; cat "$logf"; exit 1; }
-    i=$((i + 1))
-    sleep 0.5
-done
-[ -n "$ready" ] || { echo "smoke_costestd: /readyz never became ready"; cat "$logf"; exit 1; }
+wait_ready
 
 curl -sf "$base/healthz" >/dev/null || { echo "smoke_costestd: /healthz failed"; exit 1; }
 
@@ -54,5 +70,40 @@ wait "$pid" || status=$?
 pid=""
 [ "$status" -eq 0 ] || { echo "smoke_costestd: exit status $status after SIGTERM"; cat "$logf"; exit 1; }
 grep -q "drained clean" "$logf" || { echo "smoke_costestd: no drain log line"; cat "$logf"; exit 1; }
+[ -f "$ckpt" ] || { echo "smoke_costestd: first boot saved no checkpoint"; exit 1; }
 
-echo "smoke_costestd: OK"
+# Scenario 2: kill mid-checkpoint. Cold-load the checkpoint, retrain fast
+# with the gate disabled so the first publish checkpoints immediately, and
+# crash between the durable temp write and the rename.
+sum_before="$(cksum <"$ckpt")"
+: >"$logf"
+"$bin" -addr "127.0.0.1:$port" -scale 0.02 -queries 60 -epochs 2 \
+    -checkpoint "$ckpt" -retrain 250ms -gate-slack=-1 -checkpoint-every 1 \
+    -faults 'checkpoint.rename:crash:count=1' >"$logf" 2>&1 &
+pid=$!
+status=0
+wait "$pid" || status=$?
+pid=""
+[ "$status" -eq 3 ] || { echo "smoke_costestd: injected crash exit status $status, want 3"; cat "$logf"; exit 1; }
+grep -q "cold-loaded checkpoint" "$logf" || { echo "smoke_costestd: crash boot did not cold-load"; cat "$logf"; exit 1; }
+grep -q "injected crash at checkpoint.rename" "$logf" || { echo "smoke_costestd: no injected-crash log"; cat "$logf"; exit 1; }
+[ -f "$ckpt.tmp" ] || { echo "smoke_costestd: no durable temp file from the interrupted checkpoint"; exit 1; }
+sum_after="$(cksum <"$ckpt")"
+[ "$sum_before" = "$sum_after" ] || {
+    echo "smoke_costestd: kill mid-checkpoint modified the last-good checkpoint"
+    exit 1
+}
+
+# Scenario 2, boot 3: the last-good file still cold-starts the daemon.
+: >"$logf"
+"$bin" -addr "127.0.0.1:$port" -scale 0.02 -queries 60 -epochs 2 -checkpoint "$ckpt" >"$logf" 2>&1 &
+pid=$!
+wait_ready
+grep -q "cold-loaded checkpoint" "$logf" || { echo "smoke_costestd: post-crash boot retrained instead of cold-loading"; cat "$logf"; exit 1; }
+kill -TERM "$pid"
+status=0
+wait "$pid" || status=$?
+pid=""
+[ "$status" -eq 0 ] || { echo "smoke_costestd: post-crash boot exit status $status"; cat "$logf"; exit 1; }
+
+echo "smoke_costestd: OK (serve+drain, kill-mid-checkpoint, cold-start from last-good)"
