@@ -6,7 +6,7 @@ PKGS := ./...
 BENCH_OUT ?= BENCH_INFERENCE.json
 BENCH_SERVE_OUT ?= BENCH_SERVE.json
 
-.PHONY: all build vet fmt-check test test-fault check bench bench-json bench-serve clean
+.PHONY: all build vet fmt-check test test-fault test-fuzz test-replica check bench bench-json bench-serve clean
 
 all: check
 
@@ -33,6 +33,24 @@ test-fault:
 	$(GO) test -race -count=1 ./internal/core/ -run 'Checkpoint'
 	$(GO) test -race -count=1 ./internal/serve/ -run 'Breaker|RetryAfter|DegradedSurface'
 	$(GO) test -race -count=1 ./cmd/costestd/
+
+# Short coverage-guided fuzzing over every network- and disk-facing parser:
+# the replication frame reader and delta payload applier, the /estimate wire
+# plan decoder, and the checkpoint loaders. Each target's seed corpus also
+# runs as a plain test in `make test`; this target additionally explores.
+# FUZZTIME tunes the per-target budget (CI uses the default).
+FUZZTIME ?= 15s
+test-fuzz:
+	$(GO) test ./internal/replica/ -run '^$$' -fuzz '^FuzzFrameReader$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/replica/ -run '^$$' -fuzz '^FuzzApplyModelPayload$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/serve/ -run '^$$' -fuzz '^FuzzWirePlanDecode$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/core/ -run '^$$' -fuzz '^FuzzLoadModel$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/core/ -run '^$$' -fuzz '^FuzzModelLoad$$' -fuzztime $(FUZZTIME)
+
+# The replication conformance suite under the race detector — the
+# bit-identity acceptance gate for the scale-out streaming runtime.
+test-replica:
+	$(GO) test -race -count=1 ./internal/replica/
 
 check: build vet fmt-check test
 

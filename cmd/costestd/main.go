@@ -22,6 +22,13 @@
 // with half-open probes (-breaker-cooldown) to recover. Chaos tests drive
 // all of it with -faults (deterministic, seedable fault injection).
 //
+// The daemon scales out by replication (internal/replica): a primary
+// started with -replicate-listen streams every published model — dirty
+// parameters only, full snapshots for bootstrap and catch-up — to follower
+// daemons started with -follow, which serve bit-identical estimates and
+// report generation lag in /statsz. Followers train nothing locally and
+// turn ready once the first replicated model is applied.
+//
 // SIGTERM or SIGINT triggers a graceful drain: readiness flips, admission
 // stops (503 + Retry-After), in-flight batches finish, the HTTP server
 // shuts down, and the process exits 0.
@@ -49,6 +56,7 @@ import (
 	"costest/internal/feature"
 	"costest/internal/pg"
 	"costest/internal/planner"
+	"costest/internal/replica"
 	"costest/internal/serve"
 	"costest/internal/stats"
 	"costest/internal/strembed"
@@ -79,8 +87,14 @@ func main() {
 		brkCool   = flag.Duration("breaker-cooldown", 250*time.Millisecond, "open-breaker wait before a half-open probe")
 		faults    = flag.String("faults", "", "fault injection spec, e.g. 'daemon.retrain:panic:count=2;serve.batch:error:p=0.1' (chaos testing only)")
 		faultSeed = flag.Int64("fault-seed", 1, "seed for probabilistic fault rules")
+
+		replListen = flag.String("replicate-listen", "", "replication listener address (primary side): stream every publication to follower daemons")
+		follow     = flag.String("follow", "", "primary replication address to follow (replica side: serve the primary's models, no local training)")
 	)
 	flag.Parse()
+	if *replListen != "" && *follow != "" {
+		log.Fatal("costestd: -replicate-listen and -follow are mutually exclusive (relay topologies are not supported)")
+	}
 
 	if *faults != "" {
 		inj, err := fault.ParseSpec(*faults, *faultSeed)
@@ -121,9 +135,25 @@ func main() {
 	}
 	log.Printf("costestd: substrate ready in %v (%d labeled plans)", time.Since(start).Round(time.Millisecond), len(eps))
 
-	model, err := loadOrTrain(*checkpoint, enc, eps, *epochs, *shards, *patience)
-	if err != nil {
-		log.Fatalf("costestd: %v", err)
+	var model *core.Model
+	if *follow != "" {
+		// Replica mode: weights arrive over the replication stream, so the
+		// local model starts blank. Architecture and encoder dimensions must
+		// match the primary's (the replication handshake verifies this by
+		// schema hash and refuses mismatches).
+		model = core.New(core.TestConfig(), enc)
+		if *checkpoint != "" {
+			log.Print("costestd: -checkpoint ignored in -follow mode (models come from the primary)")
+		}
+		if *retrain > 0 {
+			log.Print("costestd: -retrain ignored in -follow mode (models come from the primary)")
+		}
+	} else {
+		var err error
+		model, err = loadOrTrain(*checkpoint, enc, eps, *epochs, *shards, *patience)
+		if err != nil {
+			log.Fatalf("costestd: %v", err)
+		}
 	}
 
 	// Serving stack: hot-swap server over a generation-tagged bounded pool,
@@ -149,7 +179,7 @@ func main() {
 	// Wired before the HTTP server starts so /statsz never races the
 	// SupervisorStats installation.
 	retrainDone := make(chan struct{})
-	if *retrain > 0 {
+	if *retrain > 0 && *follow == "" {
 		sup := newSupervisor(srv, core.NewTrainer(model), eps, *seed)
 		sup.Interval = *retrain
 		sup.Workers = *workers
@@ -166,6 +196,50 @@ func main() {
 		close(retrainDone)
 	}
 
+	// Replication wiring: a primary taps every publication and streams
+	// frames to follower daemons; a replica applies the primary's frames
+	// into its local server and only turns ready once the first replicated
+	// model is serving. Either side reports under "replication" in /statsz.
+	var pub *replica.Publisher
+	followerDone := make(chan struct{})
+	becomeReady := func() { svc.SetReady(true) }
+	if *replListen != "" {
+		pub = replica.NewPublisher(model, srv.Version(), log.Printf)
+		srv.SetPublishHook(pub.OnPublish)
+		rln, err := net.Listen("tcp", *replListen)
+		if err != nil {
+			log.Fatalf("costestd: replicate-listen: %v", err)
+		}
+		go pub.Serve(rln)
+		svc.ReplicationStats = func() any { return pub.Stats() }
+		log.Printf("costestd: replicating publications on %s", rln.Addr())
+	}
+	if *follow != "" {
+		fol := replica.NewFollower(replica.FollowerConfig{
+			Addr:   *follow,
+			Server: srv,
+			Model:  model,
+			Logf:   log.Printf,
+		})
+		go func() {
+			defer close(followerDone)
+			fol.Run(ctx)
+		}()
+		svc.ReplicationStats = func() any { return fol.Stats() }
+		log.Printf("costestd: following primary %s", *follow)
+		becomeReady = func() {
+			go func() {
+				if err := fol.WaitReady(ctx); err != nil {
+					return // shutting down before the first frame arrived
+				}
+				svc.SetReady(true)
+				log.Printf("costestd: first replicated model applied (generation %d), admitting traffic", fol.Generation())
+			}()
+		}
+	} else {
+		close(followerDone)
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("costestd: listen: %v", err)
@@ -173,7 +247,7 @@ func main() {
 	httpSrv := &http.Server{Handler: svc.Handler(), ReadHeaderTimeout: 5 * time.Second}
 	httpErr := make(chan error, 1)
 	go func() { httpErr <- httpSrv.Serve(ln) }()
-	svc.SetReady(true)
+	becomeReady()
 	log.Printf("costestd: serving v%d on %s (%d params, queue %d, max batch %d, window %v)",
 		srv.Version(), ln.Addr(), model.NumParams(), *queueDepth, *maxBatch, *window)
 
@@ -188,6 +262,10 @@ func main() {
 	log.Print("costestd: signal received, draining")
 	svc.SetReady(false)
 	<-retrainDone
+	<-followerDone
+	if pub != nil {
+		pub.Close()
+	}
 	sched.Close()
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// savedModelBytes serializes a small trained-shape model — the valid-input
+// seed for the checkpoint fuzzers.
+func savedModelBytes(tb testing.TB) []byte {
+	tb.Helper()
+	m := New(TestConfig(), testEnc)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		tb.Fatalf("save: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzLoadModel drives the self-describing checkpoint loader with arbitrary
+// bytes: it must return a model or an error, never panic, and never trust a
+// header enough to allocate unboundedly (the Config sanity guard exists for
+// exactly the inputs this fuzzer constructs).
+func FuzzLoadModel(f *testing.F) {
+	valid := savedModelBytes(f)
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])       // truncated mid-payload
+	f.Add(valid[:len(modelMagic)+10]) // truncated mid-header
+	f.Add([]byte(modelMagic))         // magic only
+	f.Add([]byte("COSTESTX garbage")) // wrong magic
+	f.Add([]byte{})                   // empty
+	corrupt := append([]byte(nil), valid...)
+	corrupt[len(modelMagic)+4] ^= 0xFF // flipped header byte
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := LoadModel(bytes.NewReader(data), testEnc)
+		if err == nil && m == nil {
+			t.Fatal("LoadModel returned nil model and nil error")
+		}
+	})
+}
+
+// FuzzModelLoad drives the in-place loader (which also accepts the legacy
+// headerless format, i.e. a bare gob stream) with arbitrary bytes. The
+// validate-then-commit contract means a failed load must leave the model's
+// weights untouched.
+func FuzzModelLoad(f *testing.F) {
+	valid := savedModelBytes(f)
+	f.Add(valid)
+	f.Add(valid[len(modelMagic):]) // headerless-looking: bare gob stream
+	f.Add(valid[:10])
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m := New(TestConfig(), testEnc)
+		before := snapshotBits(m)
+		if err := m.Load(bytes.NewReader(data)); err != nil {
+			if got := snapshotBits(m); !bytes.Equal(before, got) {
+				t.Fatal("failed Load mutated model weights")
+			}
+		}
+	})
+}
+
+// snapshotBits captures every parameter value bit-exactly for
+// mutation-on-error checks.
+func snapshotBits(m *Model) []byte {
+	var buf bytes.Buffer
+	if err := m.PS.Save(&buf); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}

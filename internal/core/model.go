@@ -221,6 +221,44 @@ func (m *Model) Load(r io.Reader) error {
 	return nil
 }
 
+// maxCheckpointDim bounds each persisted Config dimension LoadModel will
+// construct a model from. The guard is against corrupt or hostile
+// checkpoint headers, not real models: the paper's full-size configuration
+// peaks at Hidden=64, so four orders of magnitude of headroom loses nothing,
+// while an unchecked header dimension would size New's parameter
+// allocations directly (a single flipped high byte turns a 64-wide layer
+// into a multi-gigabyte allocation).
+const maxCheckpointDim = 1 << 14
+
+// checkLoadable rejects persisted Config values that would make New allocate
+// absurdly (dimensions) or build a half-wired model (enums outside their
+// defined range).
+func (c Config) checkLoadable() error {
+	dims := [...]struct {
+		name string
+		v    int
+	}{
+		{"OpEmbed", c.OpEmbed}, {"MetaEmbed", c.MetaEmbed},
+		{"BitmapEmbed", c.BitmapEmbed}, {"PredEmbed", c.PredEmbed},
+		{"Hidden", c.Hidden}, {"EstHidden", c.EstHidden},
+	}
+	for _, d := range dims {
+		if d.v < 1 || d.v > maxCheckpointDim {
+			return fmt.Errorf("dimension %s=%d outside [1, %d]", d.name, d.v, maxCheckpointDim)
+		}
+	}
+	if c.Pred < PredPool || c.Pred > PredPoolMean {
+		return fmt.Errorf("unknown predicate model %d", c.Pred)
+	}
+	if c.Rep < RepLSTM || c.Rep > RepNN {
+		return fmt.Errorf("unknown representation model %d", c.Rep)
+	}
+	if c.Target < TargetBoth || c.Target > TargetCard {
+		return fmt.Errorf("unknown training target %d", c.Target)
+	}
+	return nil
+}
+
 // LoadModel reads a self-describing (version >= 3) checkpoint and rebuilds
 // the model it was saved from: the persisted Config constructs the network,
 // enc supplies the feature encoder, and the weights and normalizers load
@@ -252,6 +290,9 @@ func LoadModel(r io.Reader, enc *feature.Encoder) (*Model, error) {
 	}
 	if diff := hdr.Encoder.check(enc); diff != "" {
 		return nil, fmt.Errorf("core: encoder incompatible with checkpoint: %s", diff)
+	}
+	if err := hdr.Config.checkLoadable(); err != nil {
+		return nil, fmt.Errorf("core: checkpoint config rejected: %w", err)
 	}
 	m := New(hdr.Config, enc)
 	if err := m.PS.DecodeGob(dec); err != nil {

@@ -63,6 +63,15 @@ type Server struct {
 	// of piling a goroutine per publish onto prewarmMu.
 	prewarmPending atomic.Bool
 
+	// publishHook, when set, observes every publication (full and delta)
+	// with the source model and the freshly installed version, called under
+	// pubMu on the publishing goroutine — i.e. with training quiesced, so
+	// the hook may read m's parameter values and stamps exactly like the
+	// publication itself did. This is the tap replication streams from: a
+	// replica.Publisher registers here and serializes the dirty parameters
+	// of each publication to its followers. Guarded by pubMu.
+	publishHook func(m *Model, version uint64)
+
 	sessions      sync.Pool
 	batchSessions sync.Pool
 }
@@ -221,7 +230,21 @@ func (srv *Server) Publish(m *Model) *ModelSnapshot {
 	defer srv.pubMu.Unlock()
 	snap := newSnapshot(m, srv.cur.Load().version+1)
 	srv.install(snap)
+	if srv.publishHook != nil {
+		srv.publishHook(m, snap.version)
+	}
 	return snap
+}
+
+// SetPublishHook installs h to observe every subsequent publication (full
+// and delta) with the source model and the new version. The hook runs on
+// the publishing goroutine under the publication lock — training is
+// quiesced there, so h may read m's parameters the way the publication did.
+// Install before publishing begins; pass nil to remove.
+func (srv *Server) SetPublishHook(h func(m *Model, version uint64)) {
+	srv.pubMu.Lock()
+	defer srv.pubMu.Unlock()
+	srv.publishHook = h
 }
 
 // PublishDelta is Publish through the delta path: per-param dirty stamps
@@ -255,6 +278,9 @@ func (srv *Server) PublishDelta(m *Model) *ModelSnapshot {
 	srv.delta.lastCopied = sl.sync(m)
 	snap := &ModelSnapshot{version: srv.cur.Load().version + 1, model: sl.model, slot: sl, deltaBacked: true}
 	srv.install(snap)
+	if srv.publishHook != nil {
+		srv.publishHook(m, snap.version)
+	}
 	return snap
 }
 
@@ -466,8 +492,19 @@ func (srv *Server) EstimateBatchOn(snap *ModelSnapshot, eps []*feature.EncodedPl
 	if len(eps) == 0 {
 		return nil
 	}
+	return srv.EstimateBatchInto(snap, eps, make([]Estimate, len(eps)), workers)
+}
+
+// EstimateBatchInto is EstimateBatchOn writing the estimates into
+// caller-provided storage: out must have len(eps) elements and is returned
+// filled. The warm path performs zero heap allocations — the micro-batching
+// scheduler's dispatcher reuses one result buffer across batches, which is
+// what keeps Submit→served round trips allocation-free in steady state.
+func (srv *Server) EstimateBatchInto(snap *ModelSnapshot, eps []*feature.EncodedPlan, out []Estimate, workers int) []Estimate {
+	if len(eps) == 0 {
+		return out[:0]
+	}
 	s := srv.batchSession(snap)
-	out := make([]Estimate, len(eps))
 	copy(out, s.EstimateBatchWithPool(eps, srv.pool, workers))
 	s.releasePlans()
 	srv.batchSessions.Put(s)

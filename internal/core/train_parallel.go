@@ -348,6 +348,39 @@ func (pt *ParallelTrainer) TrainEpochParallel(samples []*feature.EncodedPlan, ba
 	return total / float64(len(samples))
 }
 
+// treeReduceMinShards is the active-shard count at which the gradient
+// reduction switches from the flat left-to-right sweep to the fixed-pair
+// tree. Below it the flat sweep's single destination pass is cheaper; above
+// it the tree halves the live partial count per round, which is the shape a
+// future multi-core reduction parallelizes without changing a single bit
+// (the association is fixed by the shard count alone).
+const treeReduceMinShards = 8
+
+// treeReduceGrads reduces the active shards' gradients into the live
+// ParamSet via a deterministic fixed-pair tree: round r combines shard i
+// with shard i+2^r for every i ≡ 0 (mod 2^(r+1)), each combine a strict
+// left-to-right tensor.AddVecsInto accumulation into the lower shard, until
+// shard 0 holds the tree's root sum, which is copied into the main
+// gradients. The pairing is a pure function of `active` — bit-identical
+// across runs and worker caps; versus the flat sweep it reassociates the
+// same per-element sums, so results agree to floating-point reassociation
+// (≤1e-6 relative, the established cross-shard tolerance). Shard gradient
+// buffers are scratch here: every shard re-zeroes its set at the start of
+// its next accumulation, so mutating them between joins is free.
+func (pt *ParallelTrainer) treeReduceGrads(active int) {
+	for stride := 1; stride < active; stride *= 2 {
+		for i := 0; i+stride < active; i += 2 * stride {
+			for pi := range pt.mainGrads {
+				srcs := pt.gradSrcs[pi]
+				tensor.AddVecsInto(srcs[i], srcs[i+stride])
+			}
+		}
+	}
+	for pi, dst := range pt.mainGrads {
+		copy(dst, pt.gradSrcs[pi][0])
+	}
+}
+
 // stepParallel processes one minibatch: fixed contiguous shard assignment,
 // concurrent shard accumulation, ordered gradient reduction, then the
 // clip + Adam step of the sequential trainer.
@@ -369,15 +402,22 @@ func (pt *ParallelTrainer) stepParallel(batch []*feature.EncodedPlan) float64 {
 
 	// Ordered reduction: shard 0's gradient is copied (bit-exact — with one
 	// shard this path IS TrainEpochBatched), the rest accumulate in
-	// ascending shard order via the deterministic reduction kernel.
+	// ascending shard order via the deterministic reduction kernel. At high
+	// shard counts the flat left-to-right sweep is replaced by a fixed-pair
+	// tree (see treeReduceGrads): still a pure function of the active shard
+	// count — never of scheduling — just a different fixed association.
 	var loss float64
 	for i := 0; i < active; i++ {
 		loss += pt.workers[i].loss
 	}
-	for pi, dst := range pt.mainGrads {
-		srcs := pt.gradSrcs[pi]
-		copy(dst, srcs[0])
-		tensor.AddVecsInto(dst, srcs[1:active]...)
+	if active >= treeReduceMinShards {
+		pt.treeReduceGrads(active)
+	} else {
+		for pi, dst := range pt.mainGrads {
+			srcs := pt.gradSrcs[pi]
+			copy(dst, srcs[0])
+			tensor.AddVecsInto(dst, srcs[1:active]...)
+		}
 	}
 	pt.M.PS.ClipGradNorm(pt.M.Cfg.GradClip * float64(len(batch)))
 	pt.Opt.Step(pt.M.PS)

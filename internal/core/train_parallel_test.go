@@ -105,6 +105,41 @@ func TestTrainEpochParallelWorkerCountInvariant(t *testing.T) {
 	compareWeights(t, "workers 1 vs 4", models[0], models[2], 0)
 }
 
+// TestTreeReductionDeterministic exercises the fixed-pair tree reduction
+// (>= treeReduceMinShards active shards) that the 3-4 shard tests above
+// never reach. Two contracts: worker-count invariance holds bit-exactly on
+// the tree path (its pairing is a pure function of the active shard count,
+// never of scheduling), and the tree result agrees with the sequential
+// trainer to the established cross-shard reassociation tolerance.
+func TestTreeReductionDeterministic(t *testing.T) {
+	eps := benchCorpus(t, 24)
+	cfg := TestConfig()
+	shards := treeReduceMinShards + 4 // 12: chunk 2 over the 24-sample batch
+	models := make([]*Model, 0, 3)
+	for _, workers := range []int{1, 3, shards} {
+		m := New(cfg, testEnc)
+		pt := NewParallelTrainer(m, shards)
+		pt.FitNormalizers(eps)
+		for e := 0; e < 2; e++ {
+			// One batch spanning every sample => active == shards >= the
+			// tree threshold on every step.
+			pt.TrainEpochParallel(eps, len(eps), workers)
+		}
+		pt.Close()
+		models = append(models, m)
+	}
+	compareWeights(t, "tree workers 1 vs 3", models[0], models[1], 0)
+	compareWeights(t, "tree workers 1 vs 12", models[0], models[2], 0)
+
+	mSeq := New(cfg, testEnc)
+	seq := NewTrainer(mSeq)
+	seq.FitNormalizers(eps)
+	for e := 0; e < 2; e++ {
+		seq.TrainEpochBatched(eps, len(eps), 1)
+	}
+	compareWeights(t, "tree vs sequential", mSeq, models[0], 1e-6)
+}
+
 // TestTrainEpochParallelReducesLoss trains end to end through the parallel
 // runtime and checks learning actually happens (reduction + optimizer
 // wiring, not just gradient math).

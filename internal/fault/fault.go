@@ -22,6 +22,7 @@ package fault
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"os"
 	"strconv"
@@ -252,6 +253,9 @@ func ParseSpec(spec string, seed int64) (*Injector, error) {
 		if len(fields) < 2 {
 			return nil, fmt.Errorf("fault: rule %q: want site:kind[:key=value...]", part)
 		}
+		if strings.TrimSpace(fields[0]) == "" {
+			return nil, fmt.Errorf("fault: rule %q: empty site", part)
+		}
 		r := Rule{Site: fields[0]}
 		switch fields[1] {
 		case "error":
@@ -274,12 +278,18 @@ func ParseSpec(spec string, seed int64) (*Injector, error) {
 			switch key {
 			case "p":
 				r.P, err = strconv.ParseFloat(val, 64)
+				if err == nil && (math.IsNaN(r.P) || r.P < 0 || r.P > 1) {
+					err = fmt.Errorf("probability %v outside [0, 1]", val)
+				}
 			case "after":
 				r.After, err = strconv.ParseUint(val, 10, 64)
 			case "count":
 				r.Count, err = strconv.ParseUint(val, 10, 64)
 			case "delay":
 				r.Delay, err = time.ParseDuration(val)
+				if err == nil && r.Delay < 0 {
+					err = fmt.Errorf("negative delay %v", val)
+				}
 			default:
 				return nil, fmt.Errorf("fault: rule %q: unknown option %q", part, key)
 			}

@@ -204,6 +204,57 @@ func TestParseSpec(t *testing.T) {
 	}
 }
 
+// TestParseSpecErrors pins every rejection branch of the spec grammar to a
+// descriptive error naming the offending rule — the -faults flag is operator
+// input, and "which rule, which option, why" is the difference between a
+// typo fixed in seconds and one debugged from injector behavior.
+func TestParseSpecErrors(t *testing.T) {
+	cases := []struct {
+		name, spec, want string
+	}{
+		{"missing kind", "siteonly", "want site:kind"},
+		{"empty site", ":error:p=1", "empty site"},
+		{"blank site", "  :error", "empty site"},
+		{"unknown kind", "s:explode", `unknown kind "explode"`},
+		{"option without value", "s:error:count", "not key=value"},
+		{"unknown option", "s:error:weird=1", `unknown option "weird"`},
+		{"bad probability syntax", "s:error:p=often", `option "p=often"`},
+		{"probability above one", "s:error:p=1.5", "outside [0, 1]"},
+		{"negative probability", "s:error:p=-0.1", "outside [0, 1]"},
+		{"NaN probability", "s:error:p=NaN", "outside [0, 1]"},
+		{"bad after", "s:error:after=-1", `option "after=-1"`},
+		{"bad count", "s:error:count=x", `option "count=x"`},
+		{"bad delay syntax", "s:latency:delay=fast", `option "delay=fast"`},
+		{"negative delay", "s:latency:delay=-5ms", "negative delay"},
+		{"later rule fails", "ok:error:p=0.5;s:latency:delay=oops", `option "delay=oops"`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			inj, err := ParseSpec(tc.spec, 1)
+			if err == nil {
+				t.Fatalf("ParseSpec(%q) accepted a malformed spec: %+v", tc.spec, inj)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("ParseSpec(%q) error %q does not mention %q", tc.spec, err, tc.want)
+			}
+		})
+	}
+
+	// Boundary values that must parse: the probability endpoints, a zero
+	// delay, empty rules from stray separators, and surrounding whitespace.
+	for _, good := range []string{
+		"",
+		";;",
+		" s:error:p=0 ; t:error:p=1 ",
+		"s:latency:delay=0s",
+		"s:error:after=0:count=0",
+	} {
+		if _, err := ParseSpec(good, 1); err != nil {
+			t.Fatalf("ParseSpec(%q) rejected a valid spec: %v", good, err)
+		}
+	}
+}
+
 // BenchmarkPointDisabled measures the production cost of a hook point with
 // no injector installed — the number PERFORMANCE.md quotes for "fault hooks
 // are free when disabled".

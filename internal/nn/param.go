@@ -92,6 +92,22 @@ func (ps *ParamSet) MarkAllUpdated() {
 	}
 }
 
+// MarkParamsUpdated stamps exactly the given parameters as mutated at one
+// fresh clock value — the targeted form of MarkAllUpdated for writers that
+// know which parameters they touched (a replication follower applying a
+// delta frame writes a handful of parameters and must not force delta
+// publication to re-copy the rest). The parameters must belong to this set;
+// stamping a foreign parameter would desynchronize its owner's clock.
+func (ps *ParamSet) MarkParamsUpdated(params []*Param) {
+	if len(params) == 0 {
+		return
+	}
+	t := ps.tick()
+	for _, p := range params {
+		p.stamp = t
+	}
+}
+
 // NewParamSet returns an empty parameter set.
 func NewParamSet() *ParamSet {
 	return &ParamSet{byName: make(map[string]*Param)}

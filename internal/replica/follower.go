@@ -1,0 +1,327 @@
+package replica
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"costest/internal/core"
+	"costest/internal/fault"
+	"costest/internal/nn"
+)
+
+// genMapCap bounds the follower's local-version → generation map: enough to
+// cover every snapshot a serving request could still be holding, tiny enough
+// to never matter.
+const genMapCap = 1024
+
+// FollowerConfig configures a replica-side Follower.
+type FollowerConfig struct {
+	// Addr is the primary's replication listener ("host:port").
+	Addr string
+	// Server is the local serving runtime frames publish into.
+	Server *core.Server
+	// Model is the local mirror model the Server serves from; replication
+	// frames write its parameters. Nothing else may mutate it while the
+	// follower runs.
+	Model *core.Model
+	// DialTimeout bounds one connection attempt (default 5s).
+	DialTimeout time.Duration
+	// RetryMin/RetryMax bound the reconnect backoff (default 100ms / 2s).
+	RetryMin time.Duration
+	RetryMax time.Duration
+	// Logf receives connection lifecycle events; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Follower is the replica side of replication: it dials the primary,
+// applies snapshot and delta frames into its local model, republishes each
+// applied generation through Server.PublishDelta (so local serving hot-swaps
+// exactly like the primary's), and acknowledges it. Corrupt frames are
+// rejected by checksum and never applied; generation gaps — missed frames,
+// reconnects — trigger a full-snapshot resync. Run owns the model: no other
+// writer may touch it.
+type Follower struct {
+	cfg    FollowerConfig
+	schema uint64
+
+	// touched and outBuf are session-goroutine scratch: frame-apply and
+	// control-frame sends are allocation-free steady-state.
+	touched []*nn.Param
+	outBuf  []byte
+
+	gen        atomic.Uint64 // last applied + locally published generation
+	primaryGen atomic.Uint64 // highest generation heard from the primary
+	connected  atomic.Bool
+
+	readyOnce sync.Once
+	ready     chan struct{}
+
+	verMu   sync.Mutex
+	verGen  map[uint64]uint64 // local Server version -> generation
+	verRing [genMapCap]uint64
+	verHead int
+
+	snapshots      atomic.Uint64
+	deltas         atomic.Uint64
+	corrupt        atomic.Uint64
+	gaps           atomic.Uint64
+	reconnects     atomic.Uint64
+	acks           atomic.Uint64
+	lastApplyNanos atomic.Uint64
+}
+
+// NewFollower builds a follower; call Run to start it. Server and Model
+// must be non-nil and the model must be the one the server serves from.
+func NewFollower(cfg FollowerConfig) *Follower {
+	if cfg.Server == nil || cfg.Model == nil {
+		panic("replica: FollowerConfig needs Server and Model")
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 5 * time.Second
+	}
+	if cfg.RetryMin <= 0 {
+		cfg.RetryMin = 100 * time.Millisecond
+	}
+	if cfg.RetryMax < cfg.RetryMin {
+		cfg.RetryMax = 2 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	return &Follower{
+		cfg:     cfg,
+		schema:  SchemaHash(cfg.Model),
+		touched: make([]*nn.Param, 0, len(cfg.Model.PS.Params())),
+		verGen:  make(map[uint64]uint64, genMapCap),
+		ready:   make(chan struct{}),
+	}
+}
+
+// Run dials the primary and replicates until ctx is canceled, reconnecting
+// with capped backoff on any connection loss. It is the follower's only
+// goroutine; the local model is mutated exclusively here.
+func (f *Follower) Run(ctx context.Context) {
+	backoff := f.cfg.RetryMin
+	for ctx.Err() == nil {
+		d := net.Dialer{Timeout: f.cfg.DialTimeout}
+		nc, err := d.DialContext(ctx, "tcp", f.cfg.Addr)
+		if err != nil {
+			f.cfg.Logf("replica: dial %s: %v (retrying in %v)", f.cfg.Addr, err, backoff)
+			if !sleepCtx(ctx, backoff) {
+				return
+			}
+			backoff = min(backoff*2, f.cfg.RetryMax)
+			continue
+		}
+		backoff = f.cfg.RetryMin
+		f.session(ctx, nc)
+		f.connected.Store(false)
+		if ctx.Err() != nil {
+			return
+		}
+		f.reconnects.Add(1)
+		if !sleepCtx(ctx, f.cfg.RetryMin) {
+			return
+		}
+	}
+}
+
+// session runs one connection: hello handshake, then apply frames until the
+// stream breaks.
+func (f *Follower) session(ctx context.Context, nc net.Conn) {
+	defer nc.Close()
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	stop := context.AfterFunc(ctx, func() { nc.Close() })
+	defer stop()
+
+	var hello [8]byte
+	binary.LittleEndian.PutUint64(hello[:], f.schema)
+	f.outBuf = AppendFrame(f.outBuf[:0], FrameHello, f.gen.Load(), 0, hello[:])
+	if _, err := nc.Write(f.outBuf); err != nil {
+		f.cfg.Logf("replica: hello to %s: %v", f.cfg.Addr, err)
+		return
+	}
+	f.connected.Store(true)
+	f.cfg.Logf("replica: connected to primary %s at generation %d", f.cfg.Addr, f.gen.Load())
+
+	fr := NewFrameReader(bufio.NewReaderSize(nc, 64<<10))
+	for {
+		if err := fault.Point(SiteRecv); err != nil {
+			f.cfg.Logf("replica: injected receive fault: %v", err)
+			return
+		}
+		fm, err := fr.Read()
+		if err == ErrChecksum {
+			// The frame was consumed whole; its bytes are untrusted and are
+			// dropped without touching the model. Whatever generation it
+			// carried is lost, so ask for a snapshot.
+			f.corrupt.Add(1)
+			f.cfg.Logf("replica: corrupt frame rejected, requesting resync at generation %d", f.gen.Load())
+			if !f.sendCtl(nc, FrameResync, f.gen.Load()) {
+				return
+			}
+			continue
+		}
+		if err != nil {
+			if ctx.Err() == nil {
+				f.cfg.Logf("replica: stream from %s broke: %v", f.cfg.Addr, err)
+			}
+			return
+		}
+		switch fm.Type {
+		case FrameSnapshot:
+			f.primaryGen.Store(fm.Gen)
+			if !f.applyAndAck(nc, fm, true) {
+				return
+			}
+		case FrameDelta:
+			f.primaryGen.Store(fm.Gen)
+			if fm.Prev != f.gen.Load() {
+				// Generation gap: this delta builds on a publication we never
+				// applied (dropped for backpressure, lost to a reconnect, or
+				// rejected as corrupt). Applying it would silently diverge —
+				// skip it and catch up by snapshot.
+				f.gaps.Add(1)
+				f.cfg.Logf("replica: generation gap (have %d, delta builds on %d), requesting resync", f.gen.Load(), fm.Prev)
+				if !f.sendCtl(nc, FrameResync, f.gen.Load()) {
+					return
+				}
+				continue
+			}
+			if !f.applyAndAck(nc, fm, false) {
+				return
+			}
+		}
+	}
+}
+
+// applyAndAck applies a validated frame into the local model, republishes it
+// through the local Server, and acknowledges the generation. A payload that
+// fails validation despite an intact checksum is a protocol bug — the
+// session drops so the reconnect handshake renegotiates from a snapshot.
+func (f *Follower) applyAndAck(nc net.Conn, fm Frame, full bool) bool {
+	start := time.Now()
+	touched, err := ApplyModelPayload(f.cfg.Model, fm.Payload, full, f.touched)
+	f.touched = touched
+	if err != nil {
+		f.cfg.Logf("replica: %s frame for generation %d failed to apply: %v", fm.Type, fm.Gen, err)
+		return false
+	}
+	f.cfg.Model.PS.MarkParamsUpdated(touched)
+	snap := f.cfg.Server.PublishDelta(f.cfg.Model)
+	f.recordGen(snap.Version(), fm.Gen)
+	f.gen.Store(fm.Gen)
+	f.lastApplyNanos.Store(uint64(time.Since(start)))
+	if full {
+		f.snapshots.Add(1)
+	} else {
+		f.deltas.Add(1)
+	}
+	f.readyOnce.Do(func() { close(f.ready) })
+	if !f.sendCtl(nc, FrameAck, fm.Gen) {
+		return false
+	}
+	f.acks.Add(1)
+	return true
+}
+
+// sendCtl writes a payload-free control frame (ack / resync).
+func (f *Follower) sendCtl(nc net.Conn, t FrameType, gen uint64) bool {
+	f.outBuf = AppendFrame(f.outBuf[:0], t, gen, 0, nil)
+	_, err := nc.Write(f.outBuf)
+	return err == nil
+}
+
+// recordGen remembers which replication generation a local Server version
+// serves, capped to the last genMapCap publications.
+func (f *Follower) recordGen(version, gen uint64) {
+	f.verMu.Lock()
+	if len(f.verGen) >= genMapCap {
+		delete(f.verGen, f.verRing[f.verHead])
+	}
+	f.verRing[f.verHead] = version
+	f.verHead = (f.verHead + 1) % genMapCap
+	f.verGen[version] = gen
+	f.verMu.Unlock()
+}
+
+// GenOf reports the replication generation served by the given local Server
+// version — the bridge the conformance suite uses to compare a follower's
+// estimates against the primary's at the same generation.
+func (f *Follower) GenOf(version uint64) (uint64, bool) {
+	f.verMu.Lock()
+	g, ok := f.verGen[version]
+	f.verMu.Unlock()
+	return g, ok
+}
+
+// Generation returns the last applied and locally served generation.
+func (f *Follower) Generation() uint64 { return f.gen.Load() }
+
+// WaitReady blocks until the follower has applied and published its first
+// frame (it is serving primary weights), or ctx expires.
+func (f *Follower) WaitReady(ctx context.Context) error {
+	select {
+	case <-f.ready:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// FollowerStats is the /statsz view of a follower, lag included.
+type FollowerStats struct {
+	Connected         bool   `json:"connected"`
+	Generation        uint64 `json:"generation"`
+	PrimaryGeneration uint64 `json:"primary_generation"`
+	Lag               uint64 `json:"lag"`
+	SnapshotsApplied  uint64 `json:"snapshot_frames_applied"`
+	DeltasApplied     uint64 `json:"delta_frames_applied"`
+	CorruptRejected   uint64 `json:"corrupt_frames_rejected"`
+	GenerationGaps    uint64 `json:"generation_gaps"`
+	Reconnects        uint64 `json:"reconnects"`
+	Acks              uint64 `json:"acks"`
+	LastApplyNanos    uint64 `json:"last_apply_nanos"`
+}
+
+// Stats snapshots the follower's counters. Lag is how many generations the
+// follower knows it is behind the primary (0 while caught up; between
+// publications primary and follower agree).
+func (f *Follower) Stats() FollowerStats {
+	st := FollowerStats{
+		Connected:         f.connected.Load(),
+		Generation:        f.gen.Load(),
+		PrimaryGeneration: f.primaryGen.Load(),
+		SnapshotsApplied:  f.snapshots.Load(),
+		DeltasApplied:     f.deltas.Load(),
+		CorruptRejected:   f.corrupt.Load(),
+		GenerationGaps:    f.gaps.Load(),
+		Reconnects:        f.reconnects.Load(),
+		Acks:              f.acks.Load(),
+		LastApplyNanos:    f.lastApplyNanos.Load(),
+	}
+	if st.PrimaryGeneration > st.Generation {
+		st.Lag = st.PrimaryGeneration - st.Generation
+	}
+	return st
+}
+
+// sleepCtx sleeps for d unless ctx expires first; it reports whether the
+// full sleep elapsed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}

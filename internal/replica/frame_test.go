@@ -1,0 +1,232 @@
+package replica
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"math"
+	"strings"
+	"testing"
+
+	"costest/internal/core"
+	"costest/internal/nn"
+)
+
+// modelBits captures every parameter value and the normalizers bitwise.
+func modelBits(m *core.Model) []uint64 {
+	var bits []uint64
+	for _, v := range []float64{m.CostNorm.MinLog, m.CostNorm.MaxLog, m.CardNorm.MinLog, m.CardNorm.MaxLog} {
+		bits = append(bits, math.Float64bits(v))
+	}
+	for _, p := range m.PS.Params() {
+		for _, v := range p.Value {
+			bits = append(bits, math.Float64bits(v))
+		}
+	}
+	return bits
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := map[FrameType][]byte{
+		FrameHello:    {1, 2, 3, 4, 5, 6, 7, 8},
+		FrameSnapshot: bytes.Repeat([]byte{0xAB}, 100),
+		FrameDelta:    {},
+		FrameAck:      nil,
+		FrameResync:   nil,
+	}
+	var stream []byte
+	order := []FrameType{FrameHello, FrameSnapshot, FrameDelta, FrameAck, FrameResync}
+	for i, typ := range order {
+		stream = AppendFrame(stream, typ, uint64(100+i), uint64(i), payloads[typ])
+	}
+	fr := NewFrameReader(bytes.NewReader(stream))
+	for i, typ := range order {
+		f, err := fr.Read()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if f.Type != typ || f.Gen != uint64(100+i) || f.Prev != uint64(i) {
+			t.Fatalf("frame %d: got %v gen %d prev %d", i, f.Type, f.Gen, f.Prev)
+		}
+		if !bytes.Equal(f.Payload, payloads[typ]) {
+			t.Fatalf("frame %d: payload %x, want %x", i, f.Payload, payloads[typ])
+		}
+	}
+	if _, err := fr.Read(); err != io.EOF {
+		t.Fatalf("after stream end: %v, want EOF", err)
+	}
+}
+
+func TestFrameReaderRejects(t *testing.T) {
+	valid := AppendFrame(nil, FrameDelta, 7, 6, []byte{1, 2, 3, 4})
+	mutate := func(mod func(b []byte)) []byte {
+		b := append([]byte(nil), valid...)
+		mod(b)
+		return b
+	}
+	cases := []struct {
+		name    string
+		stream  []byte
+		errLike string
+	}{
+		{"bad magic", mutate(func(b []byte) { b[0] = 'X' }), "magic"},
+		{"bad version", mutate(func(b []byte) { b[4] = 99 }), "version"},
+		{"zero type", mutate(func(b []byte) { b[5] = 0 }), "type"},
+		{"unknown type", mutate(func(b []byte) { b[5] = 42 }), "type"},
+		{"oversize payload", mutate(func(b []byte) {
+			binary.LittleEndian.PutUint32(b[22:], MaxPayload+1)
+		}), "exceeds limit"},
+		{"truncated header", valid[:10], "EOF"},
+		{"truncated body", valid[:len(valid)-2], "short frame body"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := NewFrameReader(bytes.NewReader(tc.stream)).Read()
+			if err == nil {
+				t.Fatal("decoded a malformed frame")
+			}
+			if !strings.Contains(err.Error(), tc.errLike) {
+				t.Fatalf("error %q does not mention %q", err, tc.errLike)
+			}
+		})
+	}
+
+	// A checksum failure consumes the frame whole and keeps the stream in
+	// sync: the next frame still decodes.
+	flipped := mutate(func(b []byte) { b[headerSize+1] ^= 0xFF })
+	stream := append(append([]byte(nil), flipped...), valid...)
+	fr := NewFrameReader(bytes.NewReader(stream))
+	if _, err := fr.Read(); err != ErrChecksum {
+		t.Fatalf("corrupt frame: %v, want ErrChecksum", err)
+	}
+	f, err := fr.Read()
+	if err != nil || f.Gen != 7 {
+		t.Fatalf("frame after corrupt one: %+v, %v", f, err)
+	}
+}
+
+func TestApplyModelPayloadErrors(t *testing.T) {
+	m := core.New(core.TestConfig(), testEnc)
+	m.CostNorm = nn.Normalizer{MinLog: 1, MaxLog: 2}
+	m.CardNorm = nn.Normalizer{MinLog: 3, MaxLog: 4}
+	before := modelBits(m)
+	nParams := len(m.PS.Params())
+
+	valid := AppendModelPayload(nil, m, []int{0, 2})
+	mutate := func(mod func(b []byte)) []byte {
+		b := append([]byte(nil), valid...)
+		mod(b)
+		return b
+	}
+	cases := []struct {
+		name    string
+		payload []byte
+		full    bool
+		errLike string
+	}{
+		{"too short", valid[:10], false, "at least"},
+		{"snapshot count mismatch", valid, true, "model has"},
+		{"index out of range", mutate(func(b []byte) {
+			binary.LittleEndian.PutUint32(b[normsSize+4:], uint32(nParams))
+		}), false, "out of range"},
+		{"value length mismatch", mutate(func(b []byte) {
+			binary.LittleEndian.PutUint32(b[normsSize+8:], 3)
+		}), false, "values"},
+		{"record truncated", valid[:normsSize+4+6], false, "truncated"},
+		{"values truncated", valid[:len(valid)-4], false, "truncated"},
+		{"trailing bytes", append(append([]byte(nil), valid...), 0xEE), false, "trailing"},
+		{"duplicate param", AppendModelPayload(nil, m, []int{1, 1}), false, "duplicate"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			touched, err := ApplyModelPayload(m, tc.payload, tc.full, nil)
+			if err == nil {
+				t.Fatal("malformed payload applied")
+			}
+			if !strings.Contains(err.Error(), tc.errLike) {
+				t.Fatalf("error %q does not mention %q", err, tc.errLike)
+			}
+			if len(touched) != 0 {
+				t.Fatalf("error returned %d touched params", len(touched))
+			}
+			after := modelBits(m)
+			for i := range before {
+				if before[i] != after[i] {
+					t.Fatalf("model mutated at word %d despite error (validate-then-commit broken)", i)
+				}
+			}
+		})
+	}
+
+	// The valid payload does apply, exactly.
+	src := core.New(core.TestConfig(), testEnc)
+	for i, p := range src.PS.Params() {
+		for j := range p.Value {
+			p.Value[j] = float64(i) + float64(j)*0.25
+		}
+	}
+	src.CostNorm = nn.Normalizer{MinLog: -1, MaxLog: 5}
+	src.CardNorm = nn.Normalizer{MinLog: 0, MaxLog: 9}
+	allIdx := make([]int, nParams)
+	for i := range allIdx {
+		allIdx[i] = i
+	}
+	full := AppendModelPayload(nil, src, allIdx)
+	touched, err := ApplyModelPayload(m, full, true, nil)
+	if err != nil {
+		t.Fatalf("full payload: %v", err)
+	}
+	if len(touched) != nParams {
+		t.Fatalf("touched %d params, want %d", len(touched), nParams)
+	}
+	want, got := modelBits(src), modelBits(m)
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("word %d differs after full apply", i)
+		}
+	}
+}
+
+func TestSchemaHash(t *testing.T) {
+	a := core.New(core.TestConfig(), testEnc)
+	b := core.New(core.TestConfig(), testEnc)
+	if SchemaHash(a) != SchemaHash(b) {
+		t.Fatal("identical architectures hash differently")
+	}
+	cfg := core.TestConfig()
+	cfg.Hidden += 4
+	c := core.New(cfg, testEnc)
+	if SchemaHash(a) == SchemaHash(c) {
+		t.Fatal("different architectures share a schema hash")
+	}
+}
+
+// TestFrameApplyAllocs pins the follower's frame-apply hot path — decode,
+// validate, write values, stamp — at zero heap allocations steady-state.
+func TestFrameApplyAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; the contract is enforced in the non-race pass")
+	}
+	m := core.New(core.TestConfig(), testEnc)
+	frame := AppendFrame(nil, FrameDelta, 2, 1, AppendModelPayload(nil, m, []int{0, 3, 5}))
+	br := bytes.NewReader(frame)
+	fr := NewFrameReader(br)
+	touched := make([]*nn.Param, 0, len(m.PS.Params()))
+
+	apply := func() {
+		br.Reset(frame)
+		fm, err := fr.Read()
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		touched, err = ApplyModelPayload(m, fm.Payload, false, touched)
+		if err != nil {
+			t.Fatalf("apply: %v", err)
+		}
+		m.PS.MarkParamsUpdated(touched)
+	}
+	apply() // warm: size the reader buffer
+	if avg := testing.AllocsPerRun(200, apply); avg != 0 {
+		t.Fatalf("frame apply allocates %v/op, want 0", avg)
+	}
+}

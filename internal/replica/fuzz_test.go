@@ -1,0 +1,66 @@
+package replica
+
+import (
+	"bytes"
+	"testing"
+
+	"costest/internal/core"
+)
+
+// FuzzFrameReader hammers the replication frame decoder with arbitrary
+// bytes: it must return errors, never panic, never hand back a frame whose
+// checksum did not verify, and keep its payload-length bound.
+func FuzzFrameReader(f *testing.F) {
+	m := core.New(core.TestConfig(), testEnc)
+	valid := AppendFrame(nil, FrameDelta, 7, 6, AppendModelPayload(nil, m, []int{0, 2}))
+	f.Add(valid)
+	f.Add(AppendFrame(nil, FrameAck, 3, 0, nil))
+	f.Add(AppendFrame(AppendFrame(nil, FrameHello, 0, 0, make([]byte, 8)), FrameResync, 5, 0, nil))
+	f.Add(valid[:len(valid)-3])
+	f.Add([]byte("CRPL"))
+	f.Add([]byte{})
+	corrupt := append([]byte(nil), valid...)
+	corrupt[headerSize+2] ^= 0x40
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr := NewFrameReader(bytes.NewReader(data))
+		for i := 0; i < 16; i++ {
+			fm, err := fr.Read()
+			if err == ErrChecksum {
+				continue // stream stays usable after a checksum reject
+			}
+			if err != nil {
+				return
+			}
+			if fm.Type < FrameHello || fm.Type > FrameResync {
+				t.Fatalf("decoded impossible frame type %d", fm.Type)
+			}
+			if len(fm.Payload) > MaxPayload {
+				t.Fatalf("decoded payload of %d bytes past the limit", len(fm.Payload))
+			}
+		}
+	})
+}
+
+// FuzzApplyModelPayload hammers the payload validator with arbitrary bytes
+// against a real model: it must error or apply cleanly, never panic, and
+// never leave the model partially written on error (spot-checked by the
+// dedicated unit test; here we only chase panics and hangs).
+func FuzzApplyModelPayload(f *testing.F) {
+	m := core.New(core.TestConfig(), testEnc)
+	allIdx := make([]int, len(m.PS.Params()))
+	for i := range allIdx {
+		allIdx[i] = i
+	}
+	f.Add(AppendModelPayload(nil, m, allIdx))
+	f.Add(AppendModelPayload(nil, m, []int{0}))
+	f.Add(AppendModelPayload(nil, m, nil))
+	f.Add([]byte{})
+	f.Add(make([]byte, normsSize+4))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = ApplyModelPayload(m, data, false, nil)
+		_, _ = ApplyModelPayload(m, data, true, nil)
+	})
+}

@@ -1,0 +1,427 @@
+package replica
+
+import (
+	"bufio"
+	"encoding/binary"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"costest/internal/core"
+	"costest/internal/fault"
+)
+
+// Fault-injection sites on the replication link (see internal/fault). The
+// corrupt site is interpreted by the sender as "flip bytes in a private copy
+// of the frame before writing" — the follower must reject it by checksum.
+const (
+	// SiteSend fires before every frame write on the primary; latency rules
+	// delay the stream, error rules kill the connection.
+	SiteSend = "replica.send"
+	// SiteSendCorrupt fires before every frame write; an error rule makes
+	// the primary transmit a deliberately corrupted copy of the frame.
+	SiteSendCorrupt = "replica.send.corrupt"
+	// SiteRecv fires before every frame decode on the follower; latency
+	// rules delay apply, error rules drop the connection (reconnect path).
+	SiteRecv = "replica.recv"
+)
+
+// connQueueDepth bounds the per-follower outbound frame queue. A follower
+// that falls further behind than this stops receiving deltas and is healed
+// with a snapshot at the next publication instead (slow followers must not
+// block or bloat the primary).
+const connQueueDepth = 32
+
+// Publisher is the primary side of replication: it taps every Server
+// publication (register OnPublish via core.Server.SetPublishHook), keeps a
+// private mirror of the published weights, and streams delta frames to every
+// connected follower. The mirror makes catch-up independent of training:
+// snapshot frames for new or lagging followers are encoded from the mirror
+// under the publisher's own lock, at any time, without touching the live
+// (possibly mid-step) training model.
+type Publisher struct {
+	mu     sync.Mutex
+	mirror *core.Model // publisher-owned copy of the last published weights
+	stamps []uint64    // per-param source stamps at last mirror sync
+	src    *core.Model // source model of the last publication
+	gen    uint64      // generation of the mirror = primary Server version
+	schema uint64
+	conns  map[*pubConn]struct{}
+	closed bool
+	ln     net.Listener
+	logf   func(format string, args ...any)
+	wg     sync.WaitGroup
+
+	dirty  []int // scratch: indices dirtied by the current publication
+	allIdx []int // 0..nparams-1, for snapshot encoding
+
+	publications      atomic.Uint64
+	deltaFrames       atomic.Uint64
+	snapshotFrames    atomic.Uint64
+	deltaBytes        atomic.Uint64
+	snapshotBytes     atomic.Uint64
+	lastDeltaBytes    atomic.Uint64
+	lastSnapshotBytes atomic.Uint64
+	droppedFrames     atomic.Uint64
+	corruptInjected   atomic.Uint64
+	rejectedConns     atomic.Uint64
+}
+
+// pubConn is one follower connection. needsSnapshot and ready are guarded by
+// Publisher.mu; acked is read by Stats without the lock.
+type pubConn struct {
+	nc            net.Conn
+	out           chan []byte // immutable encoded frames, shared across conns
+	done          chan struct{}
+	closeOnce     sync.Once
+	ready         bool // handshake complete, eligible for broadcast
+	needsSnapshot bool // next publication must send a full snapshot
+	acked         atomic.Uint64
+}
+
+func (c *pubConn) trySend(b []byte) bool {
+	select {
+	case c.out <- b:
+		return true
+	default:
+		return false
+	}
+}
+
+// NewPublisher builds a publisher mirroring m at generation gen (the owning
+// Server's current version). The caller must have m quiesced — construct the
+// publisher after the initial publish, before training starts — and then
+// register pub.OnPublish with core.Server.SetPublishHook. logf may be nil.
+func NewPublisher(m *core.Model, gen uint64, logf func(format string, args ...any)) *Publisher {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	params := m.PS.Params()
+	p := &Publisher{
+		mirror: core.New(m.Cfg, m.Enc),
+		stamps: make([]uint64, len(params)),
+		src:    m,
+		gen:    gen,
+		schema: SchemaHash(m),
+		conns:  make(map[*pubConn]struct{}),
+		logf:   logf,
+		allIdx: make([]int, len(params)),
+	}
+	mir := p.mirror.PS.Params()
+	for i, sp := range params {
+		copy(mir[i].Value, sp.Value)
+		p.stamps[i] = sp.Stamp()
+		p.allIdx[i] = i
+	}
+	p.mirror.CostNorm, p.mirror.CardNorm = m.CostNorm, m.CardNorm
+	return p
+}
+
+// OnPublish is the publish hook: called under the Server's publication lock
+// with training quiesced, it syncs the dirty parameters into the mirror,
+// encodes one immutable delta frame, and broadcasts it. Followers flagged
+// for catch-up get a snapshot frame instead; a follower whose queue is full
+// is skipped and flagged (healed by snapshot at a later publication).
+func (p *Publisher) OnPublish(m *core.Model, version uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
+	if m != p.src {
+		// A different source model (e.g. a checkpoint swap): every recorded
+		// stamp is meaningless, resync the whole mirror.
+		p.src = m
+		for i := range p.stamps {
+			p.stamps[i] = 0
+		}
+	}
+	p.dirty = p.dirty[:0]
+	srcParams := m.PS.Params()
+	mirParams := p.mirror.PS.Params()
+	for i, sp := range srcParams {
+		if st := sp.Stamp(); st > p.stamps[i] {
+			p.stamps[i] = st
+			copy(mirParams[i].Value, sp.Value)
+			p.dirty = append(p.dirty, i)
+		}
+	}
+	p.mirror.CostNorm, p.mirror.CardNorm = m.CostNorm, m.CardNorm
+	prev := p.gen
+	p.gen = version
+	p.publications.Add(1)
+
+	frame := AppendFrame(nil, FrameDelta, version, prev, AppendModelPayload(nil, p.mirror, p.dirty))
+	p.lastDeltaBytes.Store(uint64(len(frame)))
+	var snap []byte
+	for c := range p.conns {
+		if !c.ready {
+			continue
+		}
+		if c.needsSnapshot {
+			if snap == nil {
+				snap = p.encodeSnapshotLocked()
+			}
+			if c.trySend(snap) {
+				c.needsSnapshot = false
+				p.snapshotFrames.Add(1)
+				p.snapshotBytes.Add(uint64(len(snap)))
+			}
+		} else if c.trySend(frame) {
+			p.deltaFrames.Add(1)
+			p.deltaBytes.Add(uint64(len(frame)))
+		} else {
+			c.needsSnapshot = true
+			p.droppedFrames.Add(1)
+		}
+	}
+}
+
+// encodeSnapshotLocked encodes a full-snapshot frame of the mirror at the
+// current generation. Caller holds p.mu.
+func (p *Publisher) encodeSnapshotLocked() []byte {
+	b := AppendFrame(nil, FrameSnapshot, p.gen, p.gen, AppendModelPayload(nil, p.mirror, p.allIdx))
+	p.lastSnapshotBytes.Store(uint64(len(b)))
+	return b
+}
+
+// Serve accepts follower connections on ln until the listener is closed
+// (Close does). Run it on its own goroutine.
+func (p *Publisher) Serve(ln net.Listener) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		ln.Close()
+		return
+	}
+	p.ln = ln
+	p.mu.Unlock()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		if tc, ok := nc.(*net.TCPConn); ok {
+			tc.SetNoDelay(true)
+		}
+		c := &pubConn{nc: nc, out: make(chan []byte, connQueueDepth), done: make(chan struct{})}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			nc.Close()
+			return
+		}
+		p.conns[c] = struct{}{}
+		p.mu.Unlock()
+		p.wg.Add(1)
+		go p.handleConn(c)
+	}
+}
+
+// handleConn validates the hello handshake, starts the writer, and then
+// consumes acks and resync requests until the connection dies.
+func (p *Publisher) handleConn(c *pubConn) {
+	defer p.wg.Done()
+	defer p.drop(c)
+	fr := NewFrameReader(bufio.NewReaderSize(c.nc, 32<<10))
+	f, err := fr.Read()
+	if err != nil || f.Type != FrameHello || len(f.Payload) != 8 {
+		p.rejectedConns.Add(1)
+		p.logf("replica: rejected connection from %s: bad hello (%v)", c.nc.RemoteAddr(), err)
+		return
+	}
+	if got := binary.LittleEndian.Uint64(f.Payload); got != p.schema {
+		p.rejectedConns.Add(1)
+		p.logf("replica: rejected follower %s: schema %#x, primary has %#x", c.nc.RemoteAddr(), got, p.schema)
+		return
+	}
+
+	p.mu.Lock()
+	if _, live := p.conns[c]; !live {
+		p.mu.Unlock()
+		return
+	}
+	gen := p.gen
+	c.ready = true
+	if f.Gen == p.gen && f.Gen != 0 {
+		// Reconnecting follower already at our generation: nothing to send.
+		c.acked.Store(f.Gen)
+	} else {
+		snap := p.encodeSnapshotLocked()
+		if c.trySend(snap) {
+			p.snapshotFrames.Add(1)
+			p.snapshotBytes.Add(uint64(len(snap)))
+		} else {
+			c.needsSnapshot = true
+		}
+	}
+	p.mu.Unlock()
+	p.logf("replica: follower %s connected at generation %d (primary at %d)", c.nc.RemoteAddr(), f.Gen, gen)
+
+	p.wg.Add(1)
+	go p.writeLoop(c)
+	for {
+		f, err := fr.Read()
+		if err == ErrChecksum {
+			continue // control frame corrupted in transit; follower will resend
+		}
+		if err != nil {
+			return
+		}
+		switch f.Type {
+		case FrameAck:
+			c.acked.Store(f.Gen)
+		case FrameResync:
+			p.mu.Lock()
+			if _, live := p.conns[c]; live {
+				snap := p.encodeSnapshotLocked()
+				if c.trySend(snap) {
+					c.needsSnapshot = false
+					p.snapshotFrames.Add(1)
+					p.snapshotBytes.Add(uint64(len(snap)))
+				} else {
+					c.needsSnapshot = true
+				}
+			}
+			p.mu.Unlock()
+		}
+	}
+}
+
+// writeLoop drains the connection's frame queue onto the socket, applying
+// the fault-injection sites.
+func (p *Publisher) writeLoop(c *pubConn) {
+	defer p.wg.Done()
+	for {
+		select {
+		case b := <-c.out:
+			if err := p.writeFrame(c, b); err != nil {
+				p.drop(c)
+				return
+			}
+		case <-c.done:
+			return
+		}
+	}
+}
+
+func (p *Publisher) writeFrame(c *pubConn, b []byte) error {
+	if err := fault.Point(SiteSend); err != nil {
+		return err
+	}
+	if fault.Point(SiteSendCorrupt) != nil {
+		// Transmit a corrupted copy: the shared frame bytes stay pristine
+		// (other followers send the same slice), the wire sees flipped bits
+		// mid-frame. Framing fields are intact, so the follower consumes the
+		// frame whole and must reject it by checksum.
+		cb := append([]byte(nil), b...)
+		cb[len(cb)/2] ^= 0x5A
+		b = cb
+		p.corruptInjected.Add(1)
+	}
+	_, err := c.nc.Write(b)
+	return err
+}
+
+// drop unregisters and closes a connection; idempotent, callable from any
+// goroutine.
+func (p *Publisher) drop(c *pubConn) {
+	p.mu.Lock()
+	_, live := p.conns[c]
+	delete(p.conns, c)
+	p.mu.Unlock()
+	c.closeOnce.Do(func() { close(c.done) })
+	c.nc.Close()
+	if live {
+		p.logf("replica: follower %s disconnected", c.nc.RemoteAddr())
+	}
+}
+
+// DisconnectAll severs every follower connection (they will reconnect and
+// catch up) — a test and drain hook.
+func (p *Publisher) DisconnectAll() {
+	p.mu.Lock()
+	conns := make([]*pubConn, 0, len(p.conns))
+	for c := range p.conns {
+		conns = append(conns, c)
+	}
+	p.mu.Unlock()
+	for _, c := range conns {
+		p.drop(c)
+	}
+}
+
+// Close stops accepting, severs every follower, and waits for connection
+// goroutines to exit. The publisher stays registered as a publish hook but
+// ignores further publications.
+func (p *Publisher) Close() {
+	p.mu.Lock()
+	p.closed = true
+	ln := p.ln
+	conns := make([]*pubConn, 0, len(p.conns))
+	for c := range p.conns {
+		conns = append(conns, c)
+	}
+	p.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		p.drop(c)
+	}
+	p.wg.Wait()
+}
+
+// PublisherStats is the /statsz view of a publisher.
+type PublisherStats struct {
+	Generation        uint64 `json:"generation"`
+	Followers         int    `json:"followers"`
+	MinAckedGen       uint64 `json:"min_acked_generation"`
+	Publications      uint64 `json:"publications"`
+	DeltaFrames       uint64 `json:"delta_frames"`
+	SnapshotFrames    uint64 `json:"snapshot_frames"`
+	DeltaBytes        uint64 `json:"delta_bytes"`
+	SnapshotBytes     uint64 `json:"snapshot_bytes"`
+	LastDeltaBytes    uint64 `json:"last_delta_bytes"`
+	LastSnapshotBytes uint64 `json:"last_snapshot_bytes"`
+	DroppedFrames     uint64 `json:"dropped_frames"`
+	CorruptInjected   uint64 `json:"corrupt_frames_injected"`
+	RejectedConns     uint64 `json:"rejected_conns"`
+}
+
+// Stats snapshots the publisher's counters.
+func (p *Publisher) Stats() PublisherStats {
+	st := PublisherStats{
+		Publications:      p.publications.Load(),
+		DeltaFrames:       p.deltaFrames.Load(),
+		SnapshotFrames:    p.snapshotFrames.Load(),
+		DeltaBytes:        p.deltaBytes.Load(),
+		SnapshotBytes:     p.snapshotBytes.Load(),
+		LastDeltaBytes:    p.lastDeltaBytes.Load(),
+		LastSnapshotBytes: p.lastSnapshotBytes.Load(),
+		DroppedFrames:     p.droppedFrames.Load(),
+		CorruptInjected:   p.corruptInjected.Load(),
+		RejectedConns:     p.rejectedConns.Load(),
+	}
+	p.mu.Lock()
+	st.Generation = p.gen
+	for c := range p.conns {
+		if !c.ready {
+			continue
+		}
+		st.Followers++
+		if a := c.acked.Load(); st.MinAckedGen == 0 || a < st.MinAckedGen {
+			st.MinAckedGen = a
+		}
+	}
+	p.mu.Unlock()
+	return st
+}
+
+// MinAcked returns the lowest generation acknowledged by a currently
+// connected follower, and whether any follower is connected. The
+// conformance suite uses it to wait for convergence.
+func (p *Publisher) MinAcked() (uint64, bool) {
+	st := p.Stats()
+	return st.MinAckedGen, st.Followers > 0
+}

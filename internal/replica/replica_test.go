@@ -1,0 +1,281 @@
+package replica
+
+import (
+	"context"
+	"math"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"costest/internal/core"
+	"costest/internal/dataset"
+	"costest/internal/exec"
+	"costest/internal/feature"
+	"costest/internal/nn"
+	"costest/internal/pg"
+	"costest/internal/planner"
+	"costest/internal/stats"
+	"costest/internal/strembed"
+	"costest/internal/workload"
+)
+
+var (
+	testDB  = dataset.GenerateIMDB(dataset.Config{Seed: 1, Scale: 0.02})
+	testCat = stats.Collect(testDB, stats.Options{Buckets: 30, SampleSize: 48, Seed: 1})
+	testEng = exec.NewEngine(testDB)
+	testPl  = planner.New(pg.New(testCat), testDB.Schema)
+	testEnc = feature.NewEncoder(testCat, strembed.HashEmbedder{DimN: 12}, true)
+)
+
+// labeledSamples builds a deterministic labeled workload. Samples carry the
+// raw plans so each server under test can encode its own private
+// EncodedPlans (servers must never share plan buffers in these tests — the
+// point is proving cross-process bit-identity, not shared memory).
+func labeledSamples(t testing.TB, seed int64, n int) []*workload.Labeled {
+	t.Helper()
+	queries := workload.TrainingNumeric(testDB, seed, n)
+	lab := &workload.Labeler{Planner: testPl, Engine: testEng}
+	samples := lab.Label(queries)
+	if len(samples) < n/2 {
+		t.Fatalf("only %d/%d samples labeled", len(samples), n)
+	}
+	return samples
+}
+
+// encodePlans encodes the samples into fresh, caller-private EncodedPlans.
+func encodePlans(t testing.TB, samples []*workload.Labeled) []*feature.EncodedPlan {
+	t.Helper()
+	eps := make([]*feature.EncodedPlan, 0, len(samples))
+	for _, s := range samples {
+		ep, err := testEnc.Encode(s.Plan)
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		eps = append(eps, ep)
+	}
+	return eps
+}
+
+// trainedModel builds and briefly trains a model on eps.
+func trainedModel(t testing.TB, eps []*feature.EncodedPlan, epochs int) (*core.Model, *core.Trainer) {
+	t.Helper()
+	m := core.New(core.TestConfig(), testEnc)
+	tr := core.NewTrainer(m)
+	tr.FitNormalizers(eps)
+	for i := 0; i < epochs; i++ {
+		tr.TrainEpoch(eps, 8)
+	}
+	return m, tr
+}
+
+// startPrimary boots a serving primary with a replication listener on a
+// loopback port and returns its server, publisher and listen address.
+func startPrimary(t testing.TB, m *core.Model, tr *core.Trainer) (*core.Server, *Publisher, string) {
+	t.Helper()
+	srv := core.NewServer(m, core.NewMemoryPool())
+	tr.Publish(srv)
+	pub := NewPublisher(m, srv.Version(), t.Logf)
+	srv.SetPublishHook(pub.OnPublish)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go pub.Serve(ln)
+	t.Cleanup(pub.Close)
+	return srv, pub, ln.Addr().String()
+}
+
+// testReplica is one replica process-equivalent: its own model, server and
+// privately encoded plans, plus the running Follower.
+type testReplica struct {
+	t      testing.TB
+	addr   string
+	model  *core.Model
+	srv    *core.Server
+	eps    []*feature.EncodedPlan
+	fptr   atomic.Pointer[Follower]
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+func newTestReplica(t testing.TB, cfg core.Config, samples []*workload.Labeled, addr string) *testReplica {
+	t.Helper()
+	model := core.New(cfg, testEnc)
+	return &testReplica{
+		t:     t,
+		addr:  addr,
+		model: model,
+		srv:   core.NewServer(model, core.NewMemoryPool()),
+		eps:   encodePlans(t, samples),
+	}
+}
+
+// start launches a fresh Follower (as after a process restart: all
+// replication state forgotten, the local model keeps whatever weights it
+// had).
+func (r *testReplica) start() *Follower {
+	f := NewFollower(FollowerConfig{
+		Addr:     r.addr,
+		Server:   r.srv,
+		Model:    r.model,
+		RetryMin: 5 * time.Millisecond,
+		RetryMax: 50 * time.Millisecond,
+		Logf:     r.t.Logf,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		f.Run(ctx)
+	}()
+	r.fptr.Store(f)
+	r.cancel, r.done = cancel, done
+	r.t.Cleanup(r.stop)
+	return f
+}
+
+func (r *testReplica) follower() *Follower { return r.fptr.Load() }
+
+// stop cancels the follower and waits for its goroutine; idempotent.
+func (r *testReplica) stop() {
+	if r.cancel == nil {
+		return
+	}
+	r.cancel()
+	<-r.done
+	r.cancel = nil
+}
+
+func waitFor(t testing.TB, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// expectBitIdentical asserts that the replica serves every plan with
+// bit-identical cost and cardinality to the primary.
+func expectBitIdentical(t testing.TB, prim *core.Server, primEps []*feature.EncodedPlan, r *testReplica) {
+	t.Helper()
+	for i, ep := range primEps {
+		pc, pd, pv := prim.Estimate(ep)
+		rc, rd, rv := r.srv.Estimate(r.eps[i])
+		if math.Float64bits(pc) != math.Float64bits(rc) || math.Float64bits(pd) != math.Float64bits(rd) {
+			t.Fatalf("plan %d: primary (%x, %x) at v%d, replica (%x, %x) at v%d",
+				i, math.Float64bits(pc), math.Float64bits(pd), pv,
+				math.Float64bits(rc), math.Float64bits(rd), rv)
+		}
+	}
+}
+
+// TestFollowerBootstrapAndDelta is the basic replication path: a follower
+// bootstraps by snapshot, tracks delta publications, and serves
+// bit-identical estimates; a one-parameter update travels as a delta frame
+// measurably smaller than a snapshot.
+func TestFollowerBootstrapAndDelta(t *testing.T) {
+	samples := labeledSamples(t, 11, 16)
+	primEps := encodePlans(t, samples)
+	m, tr := trainedModel(t, primEps, 1)
+	srv, pub, addr := startPrimary(t, m, tr)
+
+	r := newTestReplica(t, m.Cfg, samples, addr)
+	f := r.start()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := f.WaitReady(ctx); err != nil {
+		t.Fatalf("follower never became ready: %v", err)
+	}
+	waitFor(t, 5*time.Second, "bootstrap catch-up", func() bool { return f.Generation() == srv.Version() })
+	expectBitIdentical(t, srv, primEps, r)
+	if st := f.Stats(); st.SnapshotsApplied == 0 {
+		t.Fatalf("follower bootstrapped without a snapshot frame: %+v", st)
+	}
+
+	// Three delta publications from real training steps.
+	for i := 0; i < 3; i++ {
+		tr.TrainEpoch(primEps, 8)
+		tr.PublishDelta(srv)
+	}
+	waitFor(t, 5*time.Second, "delta catch-up", func() bool { return f.Generation() == srv.Version() })
+	expectBitIdentical(t, srv, primEps, r)
+	if st := f.Stats(); st.DeltasApplied == 0 {
+		t.Fatalf("no delta frames applied: %+v", st)
+	}
+
+	// A sparse update — one parameter — must travel as a delta frame far
+	// smaller than a full snapshot.
+	p0 := m.PS.Params()[0]
+	p0.Value[0] += 0.5
+	m.PS.MarkParamsUpdated([]*nn.Param{p0})
+	srv.PublishDelta(m)
+	waitFor(t, 5*time.Second, "sparse delta catch-up", func() bool { return f.Generation() == srv.Version() })
+	expectBitIdentical(t, srv, primEps, r)
+	st := pub.Stats()
+	if st.LastDeltaBytes == 0 || st.LastSnapshotBytes == 0 {
+		t.Fatalf("missing frame size stats: %+v", st)
+	}
+	if st.LastDeltaBytes*4 > st.LastSnapshotBytes {
+		t.Fatalf("sparse delta frame (%d bytes) not measurably smaller than snapshot (%d bytes)",
+			st.LastDeltaBytes, st.LastSnapshotBytes)
+	}
+	t.Logf("frame sizes: sparse delta %d bytes, full snapshot %d bytes", st.LastDeltaBytes, st.LastSnapshotBytes)
+
+	// Lag is exposed and zero once caught up.
+	if fst := f.Stats(); fst.Lag != 0 || !fst.Connected {
+		t.Fatalf("caught-up follower reports lag %d connected %v", fst.Lag, fst.Connected)
+	}
+}
+
+// TestFollowerReconnectCatchUp severs every follower connection, publishes
+// while the follower is gone, and checks the reconnect handshake heals the
+// gap by snapshot.
+func TestFollowerReconnectCatchUp(t *testing.T) {
+	samples := labeledSamples(t, 13, 12)
+	primEps := encodePlans(t, samples)
+	m, tr := trainedModel(t, primEps, 1)
+	srv, pub, addr := startPrimary(t, m, tr)
+
+	r := newTestReplica(t, m.Cfg, samples, addr)
+	f := r.start()
+	waitFor(t, 10*time.Second, "bootstrap", func() bool { return f.Generation() == srv.Version() })
+
+	pub.DisconnectAll()
+	for i := 0; i < 2; i++ {
+		tr.TrainEpoch(primEps, 8)
+		tr.PublishDelta(srv)
+	}
+	waitFor(t, 10*time.Second, "reconnect catch-up", func() bool { return f.Generation() == srv.Version() })
+	expectBitIdentical(t, srv, primEps, r)
+	if st := f.Stats(); st.SnapshotsApplied < 2 {
+		t.Fatalf("reconnect should have healed by snapshot: %+v", st)
+	}
+}
+
+// TestFollowerSchemaMismatch proves a follower with a different model
+// architecture is refused at the handshake and never serves primary frames.
+func TestFollowerSchemaMismatch(t *testing.T) {
+	samples := labeledSamples(t, 17, 8)
+	primEps := encodePlans(t, samples)
+	m, tr := trainedModel(t, primEps, 1)
+	_, pub, addr := startPrimary(t, m, tr)
+
+	cfg := core.TestConfig()
+	cfg.Hidden += 4 // different architecture => different schema hash
+	r := newTestReplica(t, cfg, samples, addr)
+	f := r.start()
+	waitFor(t, 5*time.Second, "schema rejection", func() bool { return pub.Stats().RejectedConns > 0 })
+	select {
+	case <-f.ready:
+		t.Fatal("mismatched follower became ready")
+	default:
+	}
+	if g := f.Generation(); g != 0 {
+		t.Fatalf("mismatched follower applied generation %d", g)
+	}
+}

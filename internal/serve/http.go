@@ -37,6 +37,10 @@ type Service struct {
 	// SupervisorStats, when set, is rendered under "supervisor" in /statsz —
 	// the daemon installs its retrain supervisor's counters here.
 	SupervisorStats func() any
+	// ReplicationStats, when set, is rendered under "replication" in
+	// /statsz — a replication primary installs its publisher's counters, a
+	// replica its follower's (generation, lag, frames applied/rejected).
+	ReplicationStats func() any
 
 	ready  atomic.Bool
 	sample atomic.Pointer[WirePlan]
@@ -90,6 +94,9 @@ type statszResponse struct {
 	Pool       *poolStats      `json:"pool,omitempty"`
 	Drain      core.DrainStats `json:"snapshot_drain"`
 	Supervisor any             `json:"supervisor,omitempty"`
+	// Replication carries PublisherStats on a primary, FollowerStats (lag
+	// included) on a replica.
+	Replication any `json:"replication,omitempty"`
 }
 
 type poolStats struct {
@@ -159,6 +166,9 @@ func (s *Service) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.SupervisorStats != nil {
 		resp.Supervisor = s.SupervisorStats()
+	}
+	if s.ReplicationStats != nil {
+		resp.Replication = s.ReplicationStats()
 	}
 	if p := s.srv.Pool(); p != nil {
 		resp.Pool = &poolStats{

@@ -1,0 +1,8 @@
+//go:build race
+
+package serve
+
+// raceEnabled reports that the race detector is instrumenting this build;
+// allocation assertions are skipped because -race changes sync.Pool and
+// allocator behavior.
+const raceEnabled = true

@@ -104,7 +104,9 @@ type response struct {
 
 // request is one admitted estimate waiting for dispatch. done is buffered so
 // the dispatcher can always complete a request without blocking on its
-// waiter.
+// waiter. Requests are pooled: the admission contract (exactly one response
+// per admitted request, received by its submitter) guarantees done is empty
+// again by the time a request is recycled.
 type request struct {
 	ctx  context.Context
 	ep   *feature.EncodedPlan
@@ -177,7 +179,13 @@ type Scheduler struct {
 	batch []*request
 	live  []*request
 	eps   []*feature.EncodedPlan
+	res   []core.Estimate
 	timer *time.Timer
+
+	// reqPool recycles request objects (each with its 1-buffered done
+	// channel) across Submit calls, keeping the admit and reject warm paths
+	// allocation-free under steady load.
+	reqPool sync.Pool
 }
 
 // NewScheduler builds a scheduler over srv. Call Start before Submit;
@@ -192,8 +200,12 @@ func NewScheduler(srv *core.Server, cfg SchedulerConfig) *Scheduler {
 		batch: make([]*request, 0, cfg.MaxBatch),
 		live:  make([]*request, 0, cfg.MaxBatch),
 		eps:   make([]*feature.EncodedPlan, 0, cfg.MaxBatch),
+		res:   make([]core.Estimate, cfg.MaxBatch),
 		timer: time.NewTimer(time.Hour),
 		now:   time.Now,
+	}
+	s.reqPool.New = func() any {
+		return &request{done: make(chan response, 1)}
 	}
 	if !s.timer.Stop() {
 		<-s.timer.C
@@ -217,11 +229,13 @@ func (s *Scheduler) Start() {
 //     before its batch dispatches, that answer is ctx's error; an admitted
 //     request is never silently served late or dropped.
 func (s *Scheduler) Submit(ctx context.Context, ep *feature.EncodedPlan) (Result, error) {
-	r := &request{ctx: ctx, ep: ep, done: make(chan response, 1)}
+	r := s.reqPool.Get().(*request)
+	r.ctx, r.ep = ctx, ep
 	s.admitMu.RLock()
 	if s.draining {
 		s.admitMu.RUnlock()
 		s.drained.Add(1)
+		s.putRequest(r)
 		return Result{}, ErrDraining
 	}
 	select {
@@ -229,6 +243,7 @@ func (s *Scheduler) Submit(ctx context.Context, ep *feature.EncodedPlan) (Result
 	default:
 		s.admitMu.RUnlock()
 		s.rejected.Add(1)
+		s.putRequest(r)
 		return Result{}, ErrOverloaded
 	}
 	s.admitMu.RUnlock()
@@ -238,9 +253,20 @@ func (s *Scheduler) Submit(ctx context.Context, ep *feature.EncodedPlan) (Result
 		s.queueHW.Store(d)
 	}
 	// Admitted: the dispatcher owns the request now and is guaranteed to
-	// answer (drain contract), so waiting on done alone cannot hang.
+	// answer (drain contract), so waiting on done alone cannot hang. Once the
+	// response is in hand the dispatcher is done with the request, so it can
+	// be recycled here.
 	resp := <-r.done
+	s.putRequest(r)
 	return resp.res, resp.err
+}
+
+// putRequest recycles a request whose done channel is known empty (never
+// admitted, or admitted and already answered). References are cleared so a
+// pooled request does not retain its caller's context or plan.
+func (s *Scheduler) putRequest(r *request) {
+	r.ctx, r.ep = nil, nil
+	s.reqPool.Put(r)
 }
 
 // Close drains the scheduler: admission stops (Submit returns ErrDraining),
@@ -495,7 +521,10 @@ func (s *Scheduler) estimateBatch(eps []*feature.EncodedPlan) (ests []core.Estim
 		return nil, nil, err
 	}
 	snap = s.srv.AcquireSnapshot()
-	ests = s.srv.EstimateBatchOn(snap, eps, s.cfg.Workers)
+	// The dispatcher owns s.res (single goroutine) and every response is
+	// copied out before the next batch reuses it, so writing estimates into
+	// the shared scratch keeps the steady-state serve path allocation-free.
+	ests = s.srv.EstimateBatchInto(snap, eps, s.res[:len(eps)], s.cfg.Workers)
 	return ests, snap, nil
 }
 

@@ -1,0 +1,40 @@
+#!/bin/sh
+# Coverage gate: run the full test suite with statement coverage, write the
+# per-function summary (coverage.txt) and raw profile (coverage.out) for CI
+# to archive, and fail when the replication runtime — the newest layer with
+# the strictest correctness contract (bit-identity over a lossy wire) —
+# drops below its floor. Repo-wide coverage is reported but not gated;
+# the floor applies where a regression would mean an untested frame-protocol
+# or resync path.
+# Run from the repository root: scripts/check_coverage.sh
+set -eu
+
+FLOOR_PCT=${FLOOR_PCT:-80}
+GATED_PKG=costest/internal/replica
+
+go test -count=1 -coverprofile=coverage.out ./...
+go tool cover -func=coverage.out >coverage.txt
+
+total=$(grep '^total:' coverage.txt | awk '{print $NF}')
+echo "check_coverage: repo total statement coverage $total"
+
+# Statement coverage for the gated package, computed from the raw profile:
+# each profile line is "file:start,end numstmts hitcount".
+pct=$(awk -v pkg="$GATED_PKG/" '
+    index($1, pkg) == 1 { total += $2; if ($3 > 0) covered += $2 }
+    END {
+        if (total == 0) { print "none"; exit }
+        printf "%.1f", 100 * covered / total
+    }
+' coverage.out)
+
+if [ "$pct" = "none" ]; then
+    echo "check_coverage: FAILED — no profiled statements for $GATED_PKG"
+    exit 1
+fi
+echo "check_coverage: $GATED_PKG statement coverage ${pct}% (floor ${FLOOR_PCT}%)"
+if awk -v p="$pct" -v f="$FLOOR_PCT" 'BEGIN { exit !(p < f) }'; then
+    echo "check_coverage: FAILED — $GATED_PKG below ${FLOOR_PCT}% floor"
+    exit 1
+fi
+echo "check_coverage: OK"

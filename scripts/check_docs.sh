@@ -54,9 +54,12 @@ require_section PERFORMANCE.md "Data-parallel training runtime"
 require_section PERFORMANCE.md "Continuous train-and-serve loop"
 require_section PERFORMANCE.md "Networked estimator daemon"
 require_section PERFORMANCE.md "Fault tolerance layer"
+require_section PERFORMANCE.md "Scale-out replication"
 require_section ARCHITECTURE.md "Runtime layers"
 require_section ARCHITECTURE.md "Networked serving"
 require_section ARCHITECTURE.md "Fault tolerance"
+require_section ARCHITECTURE.md "Scale-out replication"
+require_section README.md "A replicated cluster"
 
 if [ "$status" -ne 0 ]; then
     echo "check_docs: FAILED — fix the stale references above"

@@ -1,5 +1,5 @@
 #!/bin/sh
-# End-to-end smoke test for the networked estimator daemon, two scenarios:
+# End-to-end smoke test for the networked estimator daemon, three scenarios:
 #
 #  1. Serve + graceful drain: build costestd, start it cold (tiny substrate,
 #     short training, checkpoint saved), wait for readiness, serve one
@@ -11,8 +11,14 @@
 #     die with the injected-crash status, the checkpoint file must be
 #     byte-identical to before the crash, and a third boot must still
 #     cold-load it.
+#  3. Replication: a primary with -replicate-listen retraining continuously,
+#     a follower with -follow that must turn ready only once the first
+#     replicated model lands and then serve /estimate answers identical to
+#     the primary's; the follower is then killed (-9) mid-stream, restarted,
+#     and must catch up to identical answers again.
 #
 # Run from the repository root: scripts/smoke_costestd.sh [port]
+# (the replication scenario also uses port+1 and port+2)
 set -eu
 
 port="${1:-18099}"
@@ -21,8 +27,10 @@ bin="$work/costestd"
 ckpt="$work/model.ckpt"
 logf="$(mktemp)"
 pid=""
+pid2=""
 cleanup() {
     [ -n "$pid" ] && kill -9 "$pid" 2>/dev/null || true
+    [ -n "$pid2" ] && kill -9 "$pid2" 2>/dev/null || true
     rm -rf "$work" "$logf"
 }
 trap cleanup EXIT
@@ -106,4 +114,102 @@ wait "$pid" || status=$?
 pid=""
 [ "$status" -eq 0 ] || { echo "smoke_costestd: post-crash boot exit status $status"; cat "$logf"; exit 1; }
 
-echo "smoke_costestd: OK (serve+drain, kill-mid-checkpoint, cold-start from last-good)"
+# Scenario 3: replication. A continuously retraining primary streams every
+# publication to a follower; the follower serves identical answers, survives
+# a kill -9 mid-stream, and catches up after restart. Publications race the
+# probes, so identity is asserted with a retry loop: some attempt must catch
+# both daemons on the same generation with byte-identical /estimate bodies.
+fport=$((port + 1))
+rport=$((port + 2))
+plog="$work/primary.log"
+flog="$work/follower.log"
+
+"$bin" -addr "127.0.0.1:$port" -scale 0.02 -queries 60 -epochs 2 \
+    -retrain 400ms -gate-slack=-1 \
+    -replicate-listen "127.0.0.1:$rport" >"$plog" 2>&1 &
+pid=$!
+logf="$plog"
+base="http://127.0.0.1:$port"
+wait_ready
+sample="$(curl -sf "$base/samplez")"
+
+start_follower() {
+    "$bin" -addr "127.0.0.1:$fport" -scale 0.02 -queries 60 \
+        -follow "127.0.0.1:$rport" >>"$flog" 2>&1 &
+    pid2=$!
+}
+
+# wait_follower_ready: like wait_ready but for the follower process.
+wait_follower_ready() {
+    i=0
+    while [ "$i" -lt 120 ]; do
+        if [ "$(curl -s -o /dev/null -w '%{http_code}' "http://127.0.0.1:$fport/readyz" 2>/dev/null)" = 200 ]; then
+            return 0
+        fi
+        kill -0 "$pid2" 2>/dev/null || { echo "smoke_costestd: follower died during startup"; cat "$flog"; exit 1; }
+        i=$((i + 1))
+        sleep 0.5
+    done
+    echo "smoke_costestd: follower /readyz never became ready"
+    cat "$flog"
+    exit 1
+}
+
+# expect_identical: retry until primary and follower serve identical
+# cost/card bits for the sample plan. The version fields are local server
+# counters (a restarted follower restarts its own counter), so the bits are
+# what must agree; publications race the probes, so some attempt must catch
+# both daemons on the same generation's model.
+expect_identical() {
+    i=0
+    while [ "$i" -lt 60 ]; do
+        rp="$(printf '%s' "$sample" | curl -sf -X POST --data @- "$base/estimate" | grep -E '"(cost|card)"' || true)"
+        rf="$(printf '%s' "$sample" | curl -sf -X POST --data @- "http://127.0.0.1:$fport/estimate" | grep -E '"(cost|card)"' || true)"
+        if [ -n "$rp" ] && [ "$rp" = "$rf" ]; then
+            return 0
+        fi
+        i=$((i + 1))
+        sleep 0.25
+    done
+    echo "smoke_costestd: follower never served an /estimate identical to the primary's"
+    echo "primary:  $rp"
+    echo "follower: $rf"
+    cat "$flog"
+    exit 1
+}
+
+start_follower
+wait_follower_ready
+grep -q "first replicated model applied" "$flog" || {
+    echo "smoke_costestd: follower turned ready without a replicated model"
+    cat "$flog"
+    exit 1
+}
+expect_identical
+curl -sf "http://127.0.0.1:$fport/statsz" | grep -q '"snapshot_frames_applied": *[1-9]' || {
+    echo "smoke_costestd: follower /statsz shows no snapshot applied"
+    exit 1
+}
+
+# Kill the follower mid-stream (ungraceful), let the primary publish on,
+# then restart and require catch-up to identical answers again.
+kill -9 "$pid2"
+wait "$pid2" 2>/dev/null || true
+pid2=""
+sleep 1
+start_follower
+wait_follower_ready
+expect_identical
+
+kill -TERM "$pid2"
+status=0
+wait "$pid2" || status=$?
+pid2=""
+[ "$status" -eq 0 ] || { echo "smoke_costestd: follower exit status $status after SIGTERM"; cat "$flog"; exit 1; }
+kill -TERM "$pid"
+status=0
+wait "$pid" || status=$?
+pid=""
+[ "$status" -eq 0 ] || { echo "smoke_costestd: primary exit status $status after SIGTERM"; cat "$plog"; exit 1; }
+
+echo "smoke_costestd: OK (serve+drain, kill-mid-checkpoint, cold-start from last-good, replication catch-up)"
