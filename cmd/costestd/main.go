@@ -29,6 +29,19 @@
 // report generation lag in /statsz. Followers train nothing locally and
 // turn ready once the first replicated model is applied.
 //
+// For high availability, daemons instead form a cluster with -peers: each
+// member follows the live primary through the ordered peer list, renewing a
+// primary-liveness lease on every authenticated frame (heartbeats keep idle
+// connections fed, read/write deadlines catch dead peers). A promotable
+// member (-promote-rank 0, -lease) whose lease lapses promotes itself: it
+// seals the last applied generation, boots a parallel trainer over its
+// mirror model, and publishes from its own -replicate-listen under the next
+// epoch while the surviving members re-dial through the peer list onto it.
+// Every frame carries the publisher's epoch; frames from a deposed primary's
+// stale epoch are fenced — rejected by followers and answered with a fencing
+// frame that silences the zombie. -replicate-token adds a constant-time
+// pre-shared token check to every replication handshake.
+//
 // SIGTERM or SIGINT triggers a graceful drain: readiness flips, admission
 // stops (503 + Retry-After), in-flight batches finish, the HTTP server
 // shuts down, and the process exits 0.
@@ -46,6 +59,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -88,12 +102,26 @@ func main() {
 		faults    = flag.String("faults", "", "fault injection spec, e.g. 'daemon.retrain:panic:count=2;serve.batch:error:p=0.1' (chaos testing only)")
 		faultSeed = flag.Int64("fault-seed", 1, "seed for probabilistic fault rules")
 
-		replListen = flag.String("replicate-listen", "", "replication listener address (primary side): stream every publication to follower daemons")
+		replListen = flag.String("replicate-listen", "", "replication listener address (primary side, or the promotion listener of a -peers member): stream every publication to follower daemons")
 		follow     = flag.String("follow", "", "primary replication address to follow (replica side: serve the primary's models, no local training)")
+		peers      = flag.String("peers", "", "comma-separated ordered replication peer list (HA cluster member mode: follow the live primary through this list)")
+		promoRank  = flag.Int("promote-rank", -1, "promotion rank in -peers mode: 0 promotes first on primary-lease expiry, -1 never promotes (requires -replicate-listen when >= 0)")
+		lease      = flag.Duration("lease", 3*time.Second, "base primary-liveness lease in -peers mode (rank r waits (r+1) leases)")
+		heartbeat  = flag.Duration("heartbeat", 500*time.Millisecond, "replication heartbeat interval (both sides)")
+		replToken  = flag.String("replicate-token", "", "pre-shared replication auth token (constant-time checked on the handshake; empty disables)")
 	)
 	flag.Parse()
 	if *replListen != "" && *follow != "" {
 		log.Fatal("costestd: -replicate-listen and -follow are mutually exclusive (relay topologies are not supported)")
+	}
+	if *peers != "" && *follow != "" {
+		log.Fatal("costestd: -peers and -follow are mutually exclusive (a cluster member finds the primary through the peer list)")
+	}
+	if *peers == "" && *promoRank >= 0 {
+		log.Fatal("costestd: -promote-rank requires -peers")
+	}
+	if *peers != "" && *promoRank >= 0 && *replListen == "" {
+		log.Fatal("costestd: a promotable member (-promote-rank >= 0) needs -replicate-listen for its own replication listener")
 	}
 
 	if *faults != "" {
@@ -136,17 +164,17 @@ func main() {
 	log.Printf("costestd: substrate ready in %v (%d labeled plans)", time.Since(start).Round(time.Millisecond), len(eps))
 
 	var model *core.Model
-	if *follow != "" {
-		// Replica mode: weights arrive over the replication stream, so the
-		// local model starts blank. Architecture and encoder dimensions must
-		// match the primary's (the replication handshake verifies this by
-		// schema hash and refuses mismatches).
+	if *follow != "" || *peers != "" {
+		// Replica/member mode: weights arrive over the replication stream, so
+		// the local model starts blank. Architecture and encoder dimensions
+		// must match the primary's (the replication handshake verifies this
+		// by schema hash and refuses mismatches).
 		model = core.New(core.TestConfig(), enc)
 		if *checkpoint != "" {
-			log.Print("costestd: -checkpoint ignored in -follow mode (models come from the primary)")
+			log.Print("costestd: -checkpoint ignored in replica mode (models come from the primary)")
 		}
-		if *retrain > 0 {
-			log.Print("costestd: -retrain ignored in -follow mode (models come from the primary)")
+		if *retrain > 0 && *peers == "" {
+			log.Print("costestd: -retrain ignored in replica mode (models come from the primary)")
 		}
 	} else {
 		var err error
@@ -179,7 +207,7 @@ func main() {
 	// Wired before the HTTP server starts so /statsz never races the
 	// SupervisorStats installation.
 	retrainDone := make(chan struct{})
-	if *retrain > 0 && *follow == "" {
+	if *retrain > 0 && *follow == "" && *peers == "" {
 		sup := newSupervisor(srv, core.NewTrainer(model), eps, *seed)
 		sup.Interval = *retrain
 		sup.Workers = *workers
@@ -203,8 +231,59 @@ func main() {
 	var pub *replica.Publisher
 	followerDone := make(chan struct{})
 	becomeReady := func() { svc.SetReady(true) }
-	if *replListen != "" {
-		pub = replica.NewPublisher(model, srv.Version(), log.Printf)
+	switch {
+	case *peers != "":
+		// HA cluster member: follow the live primary through the ordered peer
+		// list; a promotable member (rank >= 0) watches the primary lease and
+		// takes over as the training primary when it lapses.
+		member := replica.NewMember(replica.MemberConfig{
+			Peers:     strings.Split(*peers, ","),
+			Rank:      *promoRank,
+			Token:     *replToken,
+			Server:    srv,
+			Model:     model,
+			Listen:    *replListen,
+			Lease:     *lease,
+			Heartbeat: *heartbeat,
+			Train:     eps,
+			BatchSize: 16,
+			Workers:   *workers,
+			Shards:    *shards,
+			// After a promotion, -retrain paces the member's own training
+			// epochs exactly as it paces a boot primary's retrain cycles.
+			TrainInterval: *retrain,
+			Logf:          log.Printf,
+		})
+		go func() {
+			defer close(followerDone)
+			member.Run(ctx)
+		}()
+		svc.ReplicationStats = func() any {
+			if p := member.Publisher(); p != nil {
+				return p.Stats()
+			}
+			return member.Follower().Stats()
+		}
+		svc.ClusterStats = func() any { return member.Stats() }
+		svc.ClusterState = func() string { return member.State().String() }
+		svc.GenerationOf = member.EpochGenOf
+		log.Printf("costestd: cluster member (rank %d) following peers %s", *promoRank, *peers)
+		becomeReady = func() {
+			go func() {
+				if err := member.WaitReady(ctx); err != nil {
+					return // shutting down before the first frame arrived
+				}
+				svc.SetReady(true)
+				log.Printf("costestd: serving cluster weights (epoch %d, generation %d, state %s), admitting traffic",
+					member.Epoch(), member.Generation(), member.State())
+			}()
+		}
+	case *replListen != "":
+		pub = replica.NewPublisher(model, srv.Version(), replica.PublisherConfig{
+			Token:     *replToken,
+			Heartbeat: *heartbeat,
+			Logf:      log.Printf,
+		})
 		srv.SetPublishHook(pub.OnPublish)
 		rln, err := net.Listen("tcp", *replListen)
 		if err != nil {
@@ -212,20 +291,27 @@ func main() {
 		}
 		go pub.Serve(rln)
 		svc.ReplicationStats = func() any { return pub.Stats() }
-		log.Printf("costestd: replicating publications on %s", rln.Addr())
-	}
-	if *follow != "" {
+		svc.GenerationOf = func(version uint64) (uint64, uint64, bool) {
+			g, ok := pub.GenOf(version)
+			return pub.Epoch(), g, ok
+		}
+		close(followerDone)
+		log.Printf("costestd: replicating publications on %s (epoch %d)", rln.Addr(), pub.Epoch())
+	case *follow != "":
 		fol := replica.NewFollower(replica.FollowerConfig{
-			Addr:   *follow,
-			Server: srv,
-			Model:  model,
-			Logf:   log.Printf,
+			Addr:      *follow,
+			Token:     *replToken,
+			Server:    srv,
+			Model:     model,
+			Heartbeat: *heartbeat,
+			Logf:      log.Printf,
 		})
 		go func() {
 			defer close(followerDone)
 			fol.Run(ctx)
 		}()
 		svc.ReplicationStats = func() any { return fol.Stats() }
+		svc.GenerationOf = fol.EpochGenOf
 		log.Printf("costestd: following primary %s", *follow)
 		becomeReady = func() {
 			go func() {
@@ -236,7 +322,7 @@ func main() {
 				log.Printf("costestd: first replicated model applied (generation %d), admitting traffic", fol.Generation())
 			}()
 		}
-	} else {
+	default:
 		close(followerDone)
 	}
 

@@ -13,7 +13,7 @@ import (
 func benchPayload(b *testing.B, m *core.Model, idx []int) []byte {
 	b.Helper()
 	payload := AppendModelPayload(nil, m, idx)
-	return AppendFrame(nil, FrameSnapshot, 1, 0, payload)
+	return AppendFrame(nil, FrameSnapshot, 1, 1, 0, payload)
 }
 
 // benchApply measures the follower's hot loop: read one frame from a byte

@@ -1,0 +1,397 @@
+package replica
+
+import (
+	"context"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"costest/internal/core"
+	"costest/internal/fault"
+	"costest/internal/feature"
+)
+
+// Fault-injection sites on the liveness machinery (see internal/fault).
+const (
+	// SiteLeaseRenew fires on every lease renewal on a follower; an error
+	// rule suppresses the renewal, aging the lease as if the primary had
+	// gone silent (forces spurious promotion pressure).
+	SiteLeaseRenew = "replica.lease.renew"
+	// SiteLeasePromote fires when a Member's lease lapses and it is about
+	// to promote; an error rule aborts that promotion attempt (the member
+	// keeps following and retries on the next lapse check).
+	SiteLeasePromote = "replica.lease.promote"
+)
+
+// MemberState is a cluster member's role in the epoch/lease state machine.
+type MemberState int32
+
+const (
+	// StateFollowing: replicating from a live primary, lease being renewed.
+	StateFollowing MemberState = iota
+	// StatePromoting: the lease lapsed; the member is sealing its last
+	// applied generation and booting a publisher under epoch+1.
+	StatePromoting
+	// StatePrimary: the member publishes under its own epoch.
+	StatePrimary
+)
+
+// String returns the state's wire name (served verbatim in /statsz).
+func (s MemberState) String() string {
+	switch s {
+	case StateFollowing:
+		return "following"
+	case StatePromoting:
+		return "promoting"
+	case StatePrimary:
+		return "primary"
+	}
+	return "unknown"
+}
+
+// MemberConfig configures a cluster Member.
+type MemberConfig struct {
+	// Peers is the ordered replication peer list shared by the whole
+	// cluster: the boot primary first, then promotion-ranked successors.
+	Peers []string
+	// Rank is the member's promotion rank: rank 0 promotes first (its
+	// lease is the configured Lease), rank r waits (r+1) × Lease, so a
+	// higher-ranked successor always gets a full lease of head start.
+	// Negative means this member never promotes.
+	Rank int
+	// Token is the pre-shared replication auth token.
+	Token string
+	// Server and Model are the local serving runtime and its mirror model,
+	// exactly as for a Follower.
+	Server *core.Server
+	Model  *core.Model
+	// Listen is the address the member's own replication listener binds on
+	// promotion ("host:port"). Required when Rank >= 0 unless Listener is
+	// set.
+	Listen string
+	// Listener, when non-nil, is a pre-bound listener used for the first
+	// promotion instead of binding Listen (tests pick the port up front so
+	// peers can be configured before anything is live).
+	Listener net.Listener
+	// Lease is the base primary-liveness lease (see Rank). Required for
+	// promotable members.
+	Lease time.Duration
+	// Heartbeat, PeerTimeout, WriteTimeout, DialTimeout, RetryMin and
+	// RetryMax tune the wire exactly as in FollowerConfig/PublisherConfig.
+	Heartbeat    time.Duration
+	PeerTimeout  time.Duration
+	WriteTimeout time.Duration
+	DialTimeout  time.Duration
+	RetryMin     time.Duration
+	RetryMax     time.Duration
+	// Train is the training corpus a promoted member feeds its
+	// ParallelTrainer; empty means the promoted member serves and
+	// heartbeats but does not advance the model.
+	Train []*feature.EncodedPlan
+	// BatchSize, Workers and Shards tune the promoted trainer (defaults
+	// 8, 1, 1).
+	BatchSize int
+	Workers   int
+	Shards    int
+	// TrainInterval is the pause between promoted training epochs
+	// (default: none — train continuously).
+	TrainInterval time.Duration
+	// Logf receives lifecycle events; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Member is one replica in a self-healing cluster: it follows the live
+// primary through the shared peer list, and — when promotable — watches the
+// primary lease. On lease expiry it promotes: seals the last applied
+// generation, boots a ParallelTrainer over its mirror model, and publishes
+// under epoch+1 from its own replication listener, while the surviving
+// followers' peer-list walk finds it. A promoted member that is later fenced
+// by an even higher epoch demotes itself back to following and rejoins
+// through the peer list (its diverged weights are healed by snapshot).
+type Member struct {
+	cfg   MemberConfig
+	fol   *Follower
+	state atomic.Int32
+
+	mu      sync.Mutex
+	pub     *Publisher // non-nil while primary (or fenced ex-primary)
+	ln      net.Listener
+	usedPre bool // cfg.Listener already consumed by a prior promotion
+
+	promotions     atomic.Uint64
+	abortedPromos  atomic.Uint64
+	demotions      atomic.Uint64
+	promotionNanos atomic.Uint64 // lease-lapse detection → publishing live
+}
+
+// NewMember builds a member; call Run to start it.
+func NewMember(cfg MemberConfig) *Member {
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 8
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+	m := &Member{cfg: cfg}
+	fcfg := FollowerConfig{
+		Peers:        cfg.Peers,
+		Token:        cfg.Token,
+		Server:       cfg.Server,
+		Model:        cfg.Model,
+		DialTimeout:  cfg.DialTimeout,
+		RetryMin:     cfg.RetryMin,
+		RetryMax:     cfg.RetryMax,
+		Heartbeat:    cfg.Heartbeat,
+		PeerTimeout:  cfg.PeerTimeout,
+		WriteTimeout: cfg.WriteTimeout,
+		Logf:         cfg.Logf,
+	}
+	if cfg.Rank >= 0 && cfg.Lease > 0 {
+		// Rank-scaled lease: rank 0 moves first, each lower rank concedes a
+		// full extra lease so two members never race to promote.
+		fcfg.Lease = cfg.Lease * time.Duration(cfg.Rank+1)
+		fcfg.OnLeaseExpired = m.onLeaseExpired
+	}
+	m.fol = NewFollower(fcfg)
+	return m
+}
+
+// Run drives the member until ctx is canceled: follow, promote on lease
+// expiry, publish as primary, demote and rejoin if fenced.
+func (m *Member) Run(ctx context.Context) {
+	for ctx.Err() == nil {
+		m.fol.Run(ctx) // returns on ctx cancel or after a successful promotion
+		if ctx.Err() != nil || m.State() != StatePrimary {
+			break
+		}
+		m.primaryLoop(ctx)
+		if ctx.Err() != nil {
+			break
+		}
+		// Fenced by a higher epoch: demote and rejoin through the peer list.
+		m.demotions.Add(1)
+		m.state.Store(int32(StateFollowing))
+		m.cfg.Logf("replica: demoted — rejoining cluster as follower")
+	}
+	m.closePrimary()
+}
+
+// onLeaseExpired is the follower's lease-expiry callback (runs on the
+// follower goroutine, which owns the model — so the handoff from
+// frame-applier to trainer is free of concurrent writers by construction).
+// It returns true when the member is now primary and the follower must stop.
+func (m *Member) onLeaseExpired() bool {
+	start := time.Now()
+	m.state.Store(int32(StatePromoting))
+	if err := fault.Point(SiteLeasePromote); err != nil {
+		m.abortedPromos.Add(1)
+		m.state.Store(int32(StateFollowing))
+		m.cfg.Logf("replica: promotion aborted by injected fault: %v", err)
+		return false
+	}
+	ln, err := m.listener()
+	if err != nil {
+		m.abortedPromos.Add(1)
+		m.state.Store(int32(StateFollowing))
+		m.cfg.Logf("replica: promotion aborted: listen %s: %v", m.cfg.Listen, err)
+		return false
+	}
+
+	// Seal: the last applied (epoch, generation) is this member's final
+	// word as a follower. The publisher continues the generation sequence
+	// from the seal under the next epoch, so cross-epoch history never
+	// reuses an (epoch, generation) coordinate.
+	sealedGen := m.fol.Generation()
+	epoch := m.fol.Epoch() + 1
+	pub := NewPublisher(m.cfg.Model, sealedGen, PublisherConfig{
+		Epoch:        epoch,
+		Token:        m.cfg.Token,
+		Heartbeat:    m.cfg.Heartbeat,
+		PeerTimeout:  m.cfg.PeerTimeout,
+		WriteTimeout: m.cfg.WriteTimeout,
+		Logf:         m.cfg.Logf,
+	})
+	m.cfg.Server.SetPublishHook(pub.OnPublish)
+	m.mu.Lock()
+	m.pub, m.ln = pub, ln
+	m.mu.Unlock()
+	go pub.Serve(ln)
+	// Announce the new epoch's head immediately: republishing the sealed
+	// weights advances the generation to sealedGen+1 under epoch, and every
+	// follower that connects is snapshotted onto it.
+	m.cfg.Server.PublishDelta(m.cfg.Model)
+	m.promotionNanos.Store(uint64(time.Since(start)))
+	m.promotions.Add(1)
+	m.state.Store(int32(StatePrimary))
+	m.cfg.Logf("replica: PROMOTED to primary at epoch %d (sealed generation %d, promotion took %v)",
+		epoch, sealedGen, time.Since(start).Round(time.Millisecond))
+	return true
+}
+
+// listener returns the replication listener for a promotion: the pre-bound
+// one the first time, a fresh bind of cfg.Listen after.
+func (m *Member) listener() (net.Listener, error) {
+	m.mu.Lock()
+	pre, used := m.cfg.Listener, m.usedPre
+	m.usedPre = true
+	m.mu.Unlock()
+	if pre != nil && !used {
+		return pre, nil
+	}
+	return net.Listen("tcp", m.cfg.Listen)
+}
+
+// primaryLoop is the promoted member's publication loop: train epochs over
+// the configured corpus and publish each one, until ctx cancels or a higher
+// epoch fences this member.
+func (m *Member) primaryLoop(ctx context.Context) {
+	pub := m.Publisher()
+	if len(m.cfg.Train) == 0 {
+		// Nothing to train: the publisher's heartbeats keep follower leases
+		// fed; just wait for cancellation or fencing.
+		for ctx.Err() == nil && !pub.Fenced() {
+			if !sleepCtx(ctx, 10*time.Millisecond) {
+				break
+			}
+		}
+	} else {
+		tr := core.NewParallelTrainer(m.cfg.Model, m.cfg.Shards)
+		defer tr.Close()
+		for ctx.Err() == nil && !pub.Fenced() {
+			tr.TrainEpochParallel(m.cfg.Train, m.cfg.BatchSize, m.cfg.Workers)
+			if ctx.Err() != nil || pub.Fenced() {
+				break
+			}
+			m.cfg.Server.PublishDelta(m.cfg.Model)
+			if m.cfg.TrainInterval > 0 && !sleepCtx(ctx, m.cfg.TrainInterval) {
+				break
+			}
+		}
+	}
+	if ctx.Err() == nil && pub.Fenced() {
+		m.closePrimary()
+	}
+}
+
+// closePrimary tears the promoted-side machinery down (idempotent): the
+// publish hook, the publisher and its listener.
+func (m *Member) closePrimary() {
+	m.mu.Lock()
+	pub, ln := m.pub, m.ln
+	m.pub, m.ln = nil, nil
+	m.mu.Unlock()
+	if pub == nil {
+		return
+	}
+	m.cfg.Server.SetPublishHook(nil)
+	if ln != nil {
+		ln.Close()
+	}
+	pub.Close()
+}
+
+// State returns the member's current role.
+func (m *Member) State() MemberState { return MemberState(m.state.Load()) }
+
+// Follower returns the member's follower side (always non-nil).
+func (m *Member) Follower() *Follower { return m.fol }
+
+// Publisher returns the member's publisher, nil unless promoted.
+func (m *Member) Publisher() *Publisher {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.pub
+}
+
+// Epoch returns the member's current epoch view: the publishing epoch when
+// primary, the highest observed epoch otherwise.
+func (m *Member) Epoch() uint64 {
+	if pub := m.Publisher(); pub != nil {
+		return pub.Epoch()
+	}
+	return m.fol.Epoch()
+}
+
+// Generation returns the member's current replication generation.
+func (m *Member) Generation() uint64 {
+	if pub := m.Publisher(); pub != nil {
+		return pub.Generation()
+	}
+	return m.fol.Generation()
+}
+
+// EpochGenOf maps a local Server version to cluster (epoch, generation)
+// coordinates, consulting the publisher's ring when primary and the
+// follower's otherwise (a version served before promotion still resolves).
+func (m *Member) EpochGenOf(version uint64) (epoch, gen uint64, ok bool) {
+	if pub := m.Publisher(); pub != nil {
+		if g, found := pub.GenOf(version); found {
+			return pub.Epoch(), g, true
+		}
+	}
+	return m.fol.EpochGenOf(version)
+}
+
+// WaitReady blocks until the member serves cluster weights — its follower
+// applied a frame, or it promoted — or ctx expires.
+func (m *Member) WaitReady(ctx context.Context) error {
+	t := time.NewTicker(5 * time.Millisecond)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.fol.ready:
+			return nil
+		case <-t.C:
+			if m.State() == StatePrimary {
+				return nil
+			}
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// MemberStats is the /statsz view of a cluster member.
+type MemberStats struct {
+	State              string          `json:"state"`
+	Rank               int             `json:"rank"`
+	Epoch              uint64          `json:"epoch"`
+	Generation         uint64          `json:"generation"`
+	LeaseMillis        int64           `json:"lease_ms,omitempty"`
+	Promotions         uint64          `json:"promotions"`
+	AbortedPromotions  uint64          `json:"aborted_promotions"`
+	Demotions          uint64          `json:"demotions"`
+	LastPromotionNanos uint64          `json:"last_promotion_nanos,omitempty"`
+	Follower           FollowerStats   `json:"follower"`
+	Publisher          *PublisherStats `json:"publisher,omitempty"`
+}
+
+// Stats snapshots the member's counters.
+func (m *Member) Stats() MemberStats {
+	st := MemberStats{
+		State:              m.State().String(),
+		Rank:               m.cfg.Rank,
+		Epoch:              m.Epoch(),
+		Generation:         m.Generation(),
+		Promotions:         m.promotions.Load(),
+		AbortedPromotions:  m.abortedPromos.Load(),
+		Demotions:          m.demotions.Load(),
+		LastPromotionNanos: m.promotionNanos.Load(),
+		Follower:           m.fol.Stats(),
+	}
+	if m.cfg.Rank >= 0 && m.cfg.Lease > 0 {
+		st.LeaseMillis = (m.cfg.Lease * time.Duration(m.cfg.Rank+1)).Milliseconds()
+	}
+	if pub := m.Publisher(); pub != nil {
+		ps := pub.Stats()
+		st.Publisher = &ps
+	}
+	return st
+}

@@ -1,0 +1,627 @@
+package replica
+
+import (
+	"context"
+	"math"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"costest/internal/core"
+	"costest/internal/fault"
+	"costest/internal/feature"
+	"costest/internal/nn"
+	"costest/internal/workload"
+)
+
+// testMember is one cluster-member process-equivalent: its own model and
+// server, plus the running Member.
+type testMember struct {
+	t      testing.TB
+	model  *core.Model
+	srv    *core.Server
+	member *Member
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// startMember boots a Member over a fresh blank model/server pair. The
+// member encodes its own private plans; promotable members default to
+// training on them after promotion.
+func startMember(t testing.TB, cfg core.Config, samples []*workload.Labeled, mc MemberConfig) (*testMember, *core.Server, []*feature.EncodedPlan) {
+	t.Helper()
+	model := core.New(cfg, testEnc)
+	srv := core.NewServer(model, core.NewMemoryPool())
+	eps := encodePlans(t, samples)
+	mc.Server, mc.Model = srv, model
+	if mc.Train == nil && mc.Rank >= 0 {
+		mc.Train = eps
+	}
+	m := NewMember(mc)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		m.Run(ctx)
+	}()
+	tm := &testMember{t: t, model: model, srv: srv, member: m, cancel: cancel, done: done}
+	t.Cleanup(tm.stop)
+	return tm, srv, eps
+}
+
+func (tm *testMember) stop() {
+	if tm.cancel == nil {
+		return
+	}
+	tm.cancel()
+	<-tm.done
+	tm.cancel = nil
+}
+
+// TestFailoverConformance is the HA acceptance suite: primary A streams to
+// rank-0 successor B and non-promotable member C under training churn with
+// injected frame corruption and latency. A is killed mid-churn; B must
+// detect the lapsed lease, promote within the configured bound, and publish
+// under epoch 2 while C re-dials through the peer list onto B. A then comes
+// back as a zombie still publishing epoch 1: its late frames must be
+// provably rejected (fenced) by C, and the zombie must fence itself on the
+// reply. Throughout, every estimate observation is recorded with its
+// (epoch, generation) coordinates, and grouped by (epoch, generation, plan)
+// all observations must be bit-identical whichever process served them.
+//
+// Run under -race in CI: the suite doubles as the data-race proof for the
+// failover runtime.
+func TestFailoverConformance(t *testing.T) {
+	const (
+		hb     = 40 * time.Millisecond
+		peerTO = 200 * time.Millisecond
+		leaseD = 400 * time.Millisecond
+	)
+	samples := labeledSamples(t, 29, 20)
+	primEps := encodePlans(t, samples)
+	mA, trA := trainedModel(t, primEps, 1)
+
+	// Primary A on a pre-bound port, epoch 1.
+	srvA := core.NewServer(mA, core.NewMemoryPool())
+	trA.Publish(srvA)
+	pubA := NewPublisher(mA, srvA.Version(), PublisherConfig{
+		Epoch: 1, Heartbeat: hb, PeerTimeout: peerTO, Logf: t.Logf,
+	})
+	srvA.SetPublishHook(pubA.OnPublish)
+	lnA, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen A: %v", err)
+	}
+	addrA := lnA.Addr().String()
+	go pubA.Serve(lnA)
+	t.Cleanup(pubA.Close)
+
+	// B is the designated successor: rank 0, with its promotion listener
+	// pre-bound so every peer list can carry its address from the start.
+	lnB, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen B: %v", err)
+	}
+	addrB := lnB.Addr().String()
+	B, srvB, epsB := startMember(t, mA.Cfg, samples, MemberConfig{
+		Peers: []string{addrA}, Rank: 0, Listener: lnB,
+		Lease: leaseD, Heartbeat: hb, PeerTimeout: peerTO,
+		RetryMin: 5 * time.Millisecond, RetryMax: 50 * time.Millisecond,
+		TrainInterval: 5 * time.Millisecond, BatchSize: 8,
+		Logf: t.Logf,
+	})
+	// C never promotes; it walks the ordered peer list [A, B].
+	C, srvC, epsC := startMember(t, mA.Cfg, samples, MemberConfig{
+		Peers: []string{addrA, addrB}, Rank: -1,
+		Heartbeat: hb, PeerTimeout: peerTO,
+		RetryMin: 5 * time.Millisecond, RetryMax: 50 * time.Millisecond,
+		Logf: t.Logf,
+	})
+	for _, m := range []*Member{B.member, C.member} {
+		m := m
+		waitFor(t, 15*time.Second, "member bootstrap", func() bool {
+			return m.Follower().Generation() == srvA.Version()
+		})
+	}
+
+	// Chaos on the wire for the whole failover: corrupt frames must be
+	// rejected by checksum, latency must be absorbed by deadline slack.
+	inj, err := fault.ParseSpec(
+		SiteSendCorrupt+":error:p=0.15;"+SiteSend+":latency:p=0.2:delay=200us", 99)
+	if err != nil {
+		t.Fatalf("fault spec: %v", err)
+	}
+	fault.Enable(inj)
+	defer fault.Disable()
+
+	// Concurrent estimate load against all three processes, each observation
+	// recorded with its cluster (epoch, generation) coordinates.
+	type key struct {
+		epoch, gen uint64
+		plan       int
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	recorded := make([][]obsEG, 3)
+	runLoad := func(src int, estimate func(plan int) (obsEG, bool)) {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for plan := range primEps {
+				if o, ok := estimate(plan); ok {
+					recorded[src] = append(recorded[src], o)
+				}
+			}
+			time.Sleep(500 * time.Microsecond)
+		}
+	}
+	wg.Add(3)
+	go runLoad(0, func(plan int) (obsEG, bool) {
+		cost, card, ver := srvA.Estimate(primEps[plan])
+		gen, ok := pubA.GenOf(ver)
+		if !ok {
+			return obsEG{}, false // version predates the first churn publication
+		}
+		return obsEG{src: 0, epoch: pubA.Epoch(), gen: gen, plan: plan,
+			costBits: math.Float64bits(cost), cardBits: math.Float64bits(card)}, true
+	})
+	go runLoad(1, func(plan int) (obsEG, bool) {
+		cost, card, ver := srvB.Estimate(epsB[plan])
+		ep, gen, ok := B.member.EpochGenOf(ver)
+		if !ok {
+			return obsEG{}, false
+		}
+		return obsEG{src: 1, epoch: ep, gen: gen, plan: plan,
+			costBits: math.Float64bits(cost), cardBits: math.Float64bits(card)}, true
+	})
+	go runLoad(2, func(plan int) (obsEG, bool) {
+		cost, card, ver := srvC.Estimate(epsC[plan])
+		ep, gen, ok := C.member.EpochGenOf(ver)
+		if !ok {
+			return obsEG{}, false
+		}
+		return obsEG{src: 2, epoch: ep, gen: gen, plan: plan,
+			costBits: math.Float64bits(cost), cardBits: math.Float64bits(card)}, true
+	})
+
+	// Churn on A, then kill it mid-stream: close the publisher (listener and
+	// every connection die with it) exactly as a crashed process would look
+	// from the outside.
+	for round := 0; round < 12; round++ {
+		trA.TrainEpoch(primEps, 8)
+		trA.PublishDelta(srvA)
+		time.Sleep(2 * time.Millisecond)
+	}
+	killAt := time.Now()
+	pubA.Close()
+
+	// B must promote within the lease bound (plus deadline and CI slack —
+	// the container is 1-core and -race slows everything).
+	promoBound := leaseD + 2*peerTO + 5*time.Second
+	waitFor(t, promoBound, "rank-0 promotion", func() bool {
+		return B.member.State() == StatePrimary
+	})
+	promoLat := time.Since(killAt)
+	t.Logf("promotion latency: %v after primary kill (lease %v, bound %v)", promoLat.Round(time.Millisecond), leaseD, promoBound)
+	if got := B.member.Stats(); got.Promotions != 1 {
+		t.Fatalf("B promotions = %d, want 1 (%+v)", got.Promotions, got)
+	}
+	if ep := B.member.Epoch(); ep != 2 {
+		t.Fatalf("promoted epoch = %d, want 2", ep)
+	}
+
+	// C must find B through the peer list and adopt epoch 2.
+	waitFor(t, 30*time.Second, "C adopts epoch 2", func() bool {
+		return C.member.Follower().Epoch() == 2
+	})
+
+	// The zombie: A comes back on its old address still claiming epoch 1.
+	// Its frames must be rejected by any follower that lands on it, and the
+	// FrameFenced reply must fence the zombie itself.
+	zombie := NewPublisher(mA, srvA.Version(), PublisherConfig{
+		Epoch: 1, Heartbeat: hb, PeerTimeout: peerTO, Logf: t.Logf,
+	})
+	lnZ, err := net.Listen("tcp", addrA)
+	if err != nil {
+		t.Fatalf("rebind zombie on %s: %v", addrA, err)
+	}
+	go zombie.Serve(lnZ)
+	t.Cleanup(zombie.Close)
+
+	// Kick C off the new primary until its peer-list walk lands on the
+	// zombie (two peers: at most a couple of kicks).
+	fencedDeadline := time.Now().Add(20 * time.Second)
+	for !(zombie.Fenced() && C.member.Follower().Stats().FencedRejected >= 1) {
+		if time.Now().After(fencedDeadline) {
+			t.Fatalf("zombie never fenced: zombie %+v, C follower %+v", zombie.Stats(), C.member.Follower().Stats())
+		}
+		if bp := B.member.Publisher(); bp != nil {
+			bp.DisconnectAll()
+		}
+		time.Sleep(150 * time.Millisecond)
+	}
+	zst := zombie.Stats()
+	if !zst.Fenced || zst.FencedBy != 2 {
+		t.Fatalf("zombie stats after fencing: %+v", zst)
+	}
+
+	// C must settle back on the real primary and keep replicating epoch 2.
+	fault.Disable()
+	headB := B.member.Generation()
+	waitFor(t, 30*time.Second, "C re-converges on promoted primary", func() bool {
+		st := C.member.Follower().Stats()
+		return st.Connected && st.Epoch == 2 && C.member.Follower().Generation() >= headB
+	})
+	// Dwell on the now-clean wire: under -race on one core, C can spend the
+	// whole chaos phase behind B and only touch the head generation at the
+	// instant of convergence — too short a window for both load recorders to
+	// observe a shared epoch-2 generation. Requiring a run of cleanly applied
+	// epoch-2 deltas (plus a little slack) guarantees the cross-process check
+	// below has epoch-2 groups to bite on.
+	d0 := C.member.Follower().Stats().DeltasApplied
+	waitFor(t, 30*time.Second, "epoch-2 delta stream at C", func() bool {
+		return C.member.Follower().Stats().DeltasApplied >= d0+25
+	})
+	time.Sleep(250 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	// History: group every observation by (epoch, generation, plan); all
+	// recorded bits must agree, whichever process served them — across the
+	// failover, the fencing, and the chaos.
+	type val struct {
+		costBits, cardBits uint64
+		srcMask            int
+	}
+	groups := make(map[key]*val)
+	mismatches := 0
+	for _, sl := range recorded {
+		for _, o := range sl {
+			k := key{o.epoch, o.gen, o.plan}
+			v := groups[k]
+			if v == nil {
+				groups[k] = &val{costBits: o.costBits, cardBits: o.cardBits, srcMask: 1 << o.src}
+				continue
+			}
+			v.srcMask |= 1 << o.src
+			if v.costBits != o.costBits || v.cardBits != o.cardBits {
+				mismatches++
+				if mismatches <= 5 {
+					t.Errorf("epoch %d gen %d plan %d: src %d served (%x, %x), earlier observation (%x, %x)",
+						o.epoch, o.gen, o.plan, o.src, o.costBits, o.cardBits, v.costBits, v.cardBits)
+				}
+			}
+		}
+	}
+	if mismatches > 0 {
+		t.Fatalf("%d bit-identity mismatches across %d (epoch, generation, plan) groups", mismatches, len(groups))
+	}
+	cross, cross2 := 0, 0
+	for k, v := range groups {
+		if v.srcMask&(v.srcMask-1) != 0 {
+			cross++
+			if k.epoch == 2 {
+				cross2++
+			}
+		}
+	}
+	if cross < 10 {
+		t.Fatalf("only %d (epoch, generation, plan) groups observed by multiple processes — conformance check is vacuous", cross)
+	}
+	if cross2 < 1 {
+		t.Fatalf("no epoch-2 group was observed by multiple processes — post-failover conformance is vacuous (%d cross total)", cross)
+	}
+	t.Logf("conformance: %d groups, %d cross-process checked (%d at epoch 2)", len(groups), cross, cross2)
+
+	// The chaos actually happened and was survived, not skipped.
+	injected := pubA.Stats().CorruptInjected
+	if bp := B.member.Publisher(); bp != nil {
+		injected += bp.Stats().CorruptInjected
+	}
+	rejected := B.member.Follower().Stats().CorruptRejected + C.member.Follower().Stats().CorruptRejected
+	if injected == 0 || rejected == 0 {
+		t.Fatalf("chaos was a no-op: %d corrupt injected, %d rejected", injected, rejected)
+	}
+	t.Logf("chaos: %d corrupt injected, %d rejected; C fenced the zombie %d times",
+		injected, rejected, C.member.Follower().Stats().FencedRejected)
+}
+
+// obsEG is an estimate observation carrying full cluster coordinates.
+type obsEG struct {
+	src        int
+	epoch, gen uint64
+	plan       int
+	costBits   uint64
+	cardBits   uint64
+}
+
+// TestBackoffDelay pins the reconnect backoff budget: exponential doubling
+// from RetryMin, clamped to RetryMax, jitter of at most half the base, never
+// past the cap — the min/max possible sleep for every attempt is table-pinned.
+func TestBackoffDelay(t *testing.T) {
+	const (
+		minD = 10 * time.Millisecond
+		maxD = 160 * time.Millisecond
+	)
+	cases := []struct {
+		attempt  int
+		min, max time.Duration // bounds on the returned sleep over all jit
+	}{
+		{0, 10 * time.Millisecond, 15 * time.Millisecond},
+		{1, 20 * time.Millisecond, 30 * time.Millisecond},
+		{2, 40 * time.Millisecond, 60 * time.Millisecond},
+		{3, 80 * time.Millisecond, 120 * time.Millisecond},
+		{4, 160 * time.Millisecond, 160 * time.Millisecond}, // capped, jitter clamped
+		{9, 160 * time.Millisecond, 160 * time.Millisecond},
+		{62, 160 * time.Millisecond, 160 * time.Millisecond}, // no overflow at silly attempts
+	}
+	for _, tc := range cases {
+		if got := backoffDelay(tc.attempt, minD, maxD, 0); got != tc.min {
+			t.Errorf("attempt %d jit 0: %v, want %v", tc.attempt, got, tc.min)
+		}
+		for _, jit := range []float64{0.25, 0.5, 0.999999} {
+			got := backoffDelay(tc.attempt, minD, maxD, jit)
+			if got < tc.min || got > tc.max {
+				t.Errorf("attempt %d jit %v: %v outside [%v, %v]", tc.attempt, jit, got, tc.min, tc.max)
+			}
+		}
+	}
+	// Degenerate configs still behave: non-positive min gets a floor, an
+	// inverted max is raised to min.
+	if got := backoffDelay(3, 0, 0, 0.5); got <= 0 {
+		t.Errorf("degenerate config returned %v", got)
+	}
+	if got := backoffDelay(0, 50*time.Millisecond, time.Millisecond, 0); got != 50*time.Millisecond {
+		t.Errorf("inverted max: %v, want 50ms", got)
+	}
+}
+
+// TestReplicationTokenAuth proves the pre-shared token gate: a follower with
+// the wrong token is rejected at the handshake (before any payload field is
+// parsed — the rejection counts as an auth reject, not a schema mismatch)
+// and never serves a frame; the right token replicates normally.
+func TestReplicationTokenAuth(t *testing.T) {
+	samples := labeledSamples(t, 23, 8)
+	primEps := encodePlans(t, samples)
+	m, tr := trainedModel(t, primEps, 1)
+	srv := core.NewServer(m, core.NewMemoryPool())
+	tr.Publish(srv)
+	pub := NewPublisher(m, srv.Version(), PublisherConfig{Token: "hunter2", Logf: t.Logf})
+	srv.SetPublishHook(pub.OnPublish)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go pub.Serve(ln)
+	t.Cleanup(pub.Close)
+	addr := ln.Addr().String()
+
+	runFollower := func(token string) (*Follower, context.CancelFunc, chan struct{}) {
+		model := core.New(m.Cfg, testEnc)
+		f := NewFollower(FollowerConfig{
+			Addr: addr, Token: token,
+			Server: core.NewServer(model, core.NewMemoryPool()), Model: model,
+			RetryMin: 5 * time.Millisecond, RetryMax: 25 * time.Millisecond,
+			Logf: t.Logf,
+		})
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			f.Run(ctx)
+		}()
+		return f, cancel, done
+	}
+
+	bad, badCancel, badDone := runFollower("wrong")
+	waitFor(t, 10*time.Second, "auth rejection", func() bool { return pub.Stats().AuthRejects >= 2 })
+	if g := bad.Generation(); g != 0 {
+		t.Fatalf("bad-token follower applied generation %d", g)
+	}
+	select {
+	case <-bad.ready:
+		t.Fatal("bad-token follower became ready")
+	default:
+	}
+	badCancel()
+	<-badDone
+	if st := pub.Stats(); st.Followers != 0 {
+		t.Fatalf("bad-token follower counted as connected: %+v", st)
+	}
+
+	good, goodCancel, goodDone := runFollower("hunter2")
+	defer func() {
+		goodCancel()
+		<-goodDone
+	}()
+	waitFor(t, 10*time.Second, "authed bootstrap", func() bool { return good.Generation() == srv.Version() })
+}
+
+// TestHeartbeatKeepsIdleConnectionAlive proves the liveness layer: with no
+// publications at all for many PeerTimeout windows, bidirectional heartbeats
+// keep the connection fed (no deadline trips, no reconnects) and the
+// connection still works when publication resumes.
+func TestHeartbeatKeepsIdleConnectionAlive(t *testing.T) {
+	samples := labeledSamples(t, 31, 8)
+	primEps := encodePlans(t, samples)
+	m, tr := trainedModel(t, primEps, 1)
+	srv := core.NewServer(m, core.NewMemoryPool())
+	tr.Publish(srv)
+	pub := NewPublisher(m, srv.Version(), PublisherConfig{
+		Heartbeat: 20 * time.Millisecond, PeerTimeout: 100 * time.Millisecond, Logf: t.Logf,
+	})
+	srv.SetPublishHook(pub.OnPublish)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go pub.Serve(ln)
+	t.Cleanup(pub.Close)
+
+	model := core.New(m.Cfg, testEnc)
+	f := NewFollower(FollowerConfig{
+		Addr:   ln.Addr().String(),
+		Server: core.NewServer(model, core.NewMemoryPool()), Model: model,
+		Heartbeat: 20 * time.Millisecond, PeerTimeout: 100 * time.Millisecond,
+		RetryMin: 5 * time.Millisecond, RetryMax: 25 * time.Millisecond,
+		Logf: t.Logf,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		f.Run(ctx)
+	}()
+	defer func() {
+		cancel()
+		<-done
+	}()
+	waitFor(t, 10*time.Second, "bootstrap", func() bool { return f.Generation() == srv.Version() })
+
+	time.Sleep(500 * time.Millisecond) // five PeerTimeout windows of publication silence
+	st := f.Stats()
+	if !st.Connected || st.Reconnects != 0 {
+		t.Fatalf("idle connection did not survive: %+v", st)
+	}
+	if st.HeartbeatsReceived == 0 || st.HeartbeatsSent == 0 {
+		t.Fatalf("no heartbeats flowed on the idle connection: %+v", st)
+	}
+	if ps := pub.Stats(); ps.HeartbeatsSent == 0 {
+		t.Fatalf("publisher sent no heartbeats: %+v", ps)
+	}
+
+	tr.TrainEpoch(primEps, 8)
+	tr.PublishDelta(srv)
+	waitFor(t, 10*time.Second, "post-idle publication", func() bool { return f.Generation() == srv.Version() })
+}
+
+// TestSlowFollowerEviction proves the backpressure bound: a follower whose
+// connection stalls (injected write latency) fills its bounded send queue,
+// accumulates consecutive publish-time stalls, and is evicted instead of
+// blocking the primary or growing memory; once the stall clears it
+// reconnects and heals by snapshot.
+func TestSlowFollowerEviction(t *testing.T) {
+	samples := labeledSamples(t, 37, 8)
+	primEps := encodePlans(t, samples)
+	m, tr := trainedModel(t, primEps, 1)
+	srv := core.NewServer(m, core.NewMemoryPool())
+	tr.Publish(srv)
+	pub := NewPublisher(m, srv.Version(), PublisherConfig{EvictAfter: 2, Logf: t.Logf})
+	srv.SetPublishHook(pub.OnPublish)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go pub.Serve(ln)
+	t.Cleanup(pub.Close)
+
+	r := newTestReplica(t, m.Cfg, samples, ln.Addr().String())
+	f := r.start()
+	waitFor(t, 10*time.Second, "bootstrap", func() bool { return f.Generation() == srv.Version() })
+
+	// Stall the wire: every publisher write takes 50ms, so the send queue
+	// (depth 32) fills and publications start stalling.
+	inj, err := fault.ParseSpec(SiteSend+":latency:p=1:delay=50ms", 7)
+	if err != nil {
+		t.Fatalf("fault spec: %v", err)
+	}
+	fault.Enable(inj)
+	p0 := m.PS.Params()[0]
+	for i := 0; i < 300 && pub.Stats().Evictions == 0; i++ {
+		p0.Value[0] += 0.001
+		m.PS.MarkParamsUpdated([]*nn.Param{p0})
+		srv.PublishDelta(m)
+		time.Sleep(time.Millisecond)
+	}
+	fault.Disable()
+	st := pub.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("slow follower was never evicted: %+v", st)
+	}
+
+	// Stall cleared: the evicted follower reconnects and heals by snapshot.
+	waitFor(t, 15*time.Second, "post-eviction heal", func() bool {
+		return r.follower().Generation() == srv.Version()
+	})
+	expectBitIdentical(t, srv, primEps, r)
+	if fst := r.follower().Stats(); fst.Reconnects == 0 {
+		t.Fatalf("evicted follower never reconnected: %+v", fst)
+	}
+}
+
+// TestStatsUnderChurn hammers Follower.Stats and Publisher.Stats (including
+// the per-connection counters) from a dedicated reader while publications,
+// forced disconnects and reconnects churn underneath. Cumulative counters
+// must be monotone across consecutive snapshots and -race must see no torn
+// reads.
+func TestStatsUnderChurn(t *testing.T) {
+	samples := labeledSamples(t, 41, 10)
+	primEps := encodePlans(t, samples)
+	m, tr := trainedModel(t, primEps, 1)
+	srv, pub, addr := startPrimary(t, m, tr)
+	r := newTestReplica(t, m.Cfg, samples, addr)
+	f := r.start()
+	waitFor(t, 10*time.Second, "bootstrap", func() bool { return f.Generation() == srv.Version() })
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var pf FollowerStats
+		var pp PublisherStats
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			fs := r.follower().Stats()
+			if fs.Acks < pf.Acks || fs.DeltasApplied < pf.DeltasApplied ||
+				fs.SnapshotsApplied < pf.SnapshotsApplied || fs.Reconnects < pf.Reconnects ||
+				fs.CorruptRejected < pf.CorruptRejected || fs.HeartbeatsReceived < pf.HeartbeatsReceived {
+				t.Errorf("follower counters went backwards: %+v then %+v", pf, fs)
+				return
+			}
+			pf = fs
+			ps := pub.Stats()
+			if ps.Publications < pp.Publications || ps.DeltaFrames < pp.DeltaFrames ||
+				ps.SnapshotFrames < pp.SnapshotFrames || ps.DroppedFrames < pp.DroppedFrames ||
+				ps.Evictions < pp.Evictions || ps.HeartbeatsSent < pp.HeartbeatsSent {
+				t.Errorf("publisher counters went backwards: %+v then %+v", pp, ps)
+				return
+			}
+			for _, c := range ps.Conns {
+				if c.Remote == "" {
+					t.Errorf("per-connection stats missing remote: %+v", c)
+					return
+				}
+			}
+			pp = ps
+		}
+	}()
+
+	for round := 0; round < 30; round++ {
+		tr.TrainEpoch(primEps, 8)
+		tr.PublishDelta(srv)
+		if round%7 == 3 {
+			pub.DisconnectAll()
+		}
+		time.Sleep(time.Millisecond)
+	}
+	waitFor(t, 30*time.Second, "post-churn convergence", func() bool {
+		return r.follower().Generation() == srv.Version()
+	})
+	close(stop)
+	wg.Wait()
+
+	fs := r.follower().Stats()
+	if fs.Acks == 0 || fs.Reconnects == 0 {
+		t.Fatalf("churn was a no-op: %+v", fs)
+	}
+}

@@ -21,7 +21,7 @@
 //
 // Frame layout (little-endian):
 //
-//	magic "CRPL" (4) | version (1) | type (1) | gen (8) | prev (8) | payloadLen (4)
+//	magic "CRPL" (4) | version (1) | type (1) | epoch (8) | gen (8) | prev (8) | payloadLen (4)
 //	payload (payloadLen)
 //	crc32c over header+payload (4)
 //
@@ -32,6 +32,14 @@
 // whose prev matches its own generation; any gap — dropped frames for a slow
 // follower, a rejected corrupt frame, a fresh connection — is healed by a
 // full-snapshot catch-up frame.
+//
+// Every frame also carries the primary epoch — the cluster's fencing token.
+// Exactly one publisher may ever stream under a given epoch; a promotion
+// (see Member) seals the successor's last applied generation and begins
+// publishing under epoch+1. A follower that has seen epoch E rejects every
+// frame from an epoch < E without applying a byte: a deposed primary coming
+// back from a partition or a stall cannot diverge the cluster, it is fenced
+// by its own stale epoch and told so with a FrameFenced reply.
 package replica
 
 import (
@@ -52,8 +60,11 @@ type FrameType uint8
 
 const (
 	// FrameHello is the follower's handshake: gen carries its current
-	// generation (0 when it has none), the payload its 8-byte schema hash.
-	// The publisher refuses mismatched schemas and snapshots lagging ones.
+	// generation (0 when it has none), epoch the highest primary epoch it
+	// has seen, and the payload its 8-byte schema hash followed by the
+	// pre-shared auth token. The publisher verifies the token in constant
+	// time before parsing anything else, refuses mismatched schemas, and
+	// snapshots lagging followers.
 	FrameHello FrameType = 1 + iota
 	// FrameSnapshot carries every parameter at generation gen — the
 	// bootstrap and catch-up frame.
@@ -67,6 +78,17 @@ const (
 	// FrameResync is the follower's catch-up request after a gap or a
 	// rejected corrupt frame; gen carries the generation it is stuck at.
 	FrameResync
+	// FrameHeartbeat is the periodic liveness frame, sent in both
+	// directions: the publisher's heartbeat renews the follower's primary
+	// lease (gen carries the head generation so lag tracking stays fresh
+	// between publications), the follower's keeps the publisher's read
+	// deadline fed so a wedged peer is detected instead of blocking.
+	FrameHeartbeat
+	// FrameFenced is the follower's rejection of a stale-epoch frame: epoch
+	// carries the higher epoch the follower has already seen. A publisher
+	// receiving it knows it has been deposed and fences itself (stops
+	// broadcasting, drops its followers).
+	FrameFenced
 )
 
 // String returns the frame type's wire name.
@@ -82,14 +104,18 @@ func (t FrameType) String() string {
 		return "ack"
 	case FrameResync:
 		return "resync"
+	case FrameHeartbeat:
+		return "heartbeat"
+	case FrameFenced:
+		return "fenced"
 	}
 	return fmt.Sprintf("frametype(%d)", uint8(t))
 }
 
 const (
 	frameMagic   = "CRPL"
-	frameVersion = 1
-	headerSize   = 4 + 1 + 1 + 8 + 8 + 4
+	frameVersion = 2 // v2 added the epoch field (v1 streams are refused)
+	headerSize   = 4 + 1 + 1 + 8 + 8 + 8 + 4
 	trailerSize  = 4 // crc32c
 
 	// MaxPayload bounds a frame's payload. Snapshots of the largest model
@@ -109,20 +135,22 @@ var crcTable = crc32.MakeTable(crc32.Castagnoli)
 // Frame is one decoded replication frame. Payload aliases the reader's
 // internal buffer and is valid only until the next Read.
 type Frame struct {
-	Type FrameType
-	Gen  uint64
-	Prev uint64
+	Type  FrameType
+	Epoch uint64
+	Gen   uint64
+	Prev  uint64
 	// Payload is the frame body (parameter records for snapshot/delta, the
-	// schema hash for hello, empty for ack/resync).
+	// schema hash + auth token for hello, empty for the control frames).
 	Payload []byte
 }
 
 // AppendFrame appends one encoded frame to dst and returns the extended
 // slice. The payload is copied; the checksum covers header and payload.
-func AppendFrame(dst []byte, typ FrameType, gen, prev uint64, payload []byte) []byte {
+func AppendFrame(dst []byte, typ FrameType, epoch, gen, prev uint64, payload []byte) []byte {
 	start := len(dst)
 	dst = append(dst, frameMagic...)
 	dst = append(dst, frameVersion, byte(typ))
+	dst = binary.LittleEndian.AppendUint64(dst, epoch)
 	dst = binary.LittleEndian.AppendUint64(dst, gen)
 	dst = binary.LittleEndian.AppendUint64(dst, prev)
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
@@ -162,15 +190,16 @@ func (fr *FrameReader) Read() (Frame, error) {
 		return Frame{}, fmt.Errorf("replica: unsupported frame version %d", hdr[4])
 	}
 	typ := FrameType(hdr[5])
-	if typ < FrameHello || typ > FrameResync {
+	if typ < FrameHello || typ > FrameFenced {
 		return Frame{}, fmt.Errorf("replica: unknown frame type %d", hdr[5])
 	}
 	f := Frame{
-		Type: typ,
-		Gen:  binary.LittleEndian.Uint64(hdr[6:]),
-		Prev: binary.LittleEndian.Uint64(hdr[14:]),
+		Type:  typ,
+		Epoch: binary.LittleEndian.Uint64(hdr[6:]),
+		Gen:   binary.LittleEndian.Uint64(hdr[14:]),
+		Prev:  binary.LittleEndian.Uint64(hdr[22:]),
 	}
-	plen := binary.LittleEndian.Uint32(hdr[22:])
+	plen := binary.LittleEndian.Uint32(hdr[30:])
 	if plen > MaxPayload {
 		return Frame{}, fmt.Errorf("replica: frame payload %d exceeds limit %d", plen, MaxPayload)
 	}

@@ -28,16 +28,18 @@ func modelBits(m *core.Model) []uint64 {
 
 func TestFrameRoundTrip(t *testing.T) {
 	payloads := map[FrameType][]byte{
-		FrameHello:    {1, 2, 3, 4, 5, 6, 7, 8},
-		FrameSnapshot: bytes.Repeat([]byte{0xAB}, 100),
-		FrameDelta:    {},
-		FrameAck:      nil,
-		FrameResync:   nil,
+		FrameHello:     {1, 2, 3, 4, 5, 6, 7, 8},
+		FrameSnapshot:  bytes.Repeat([]byte{0xAB}, 100),
+		FrameDelta:     {},
+		FrameAck:       nil,
+		FrameResync:    nil,
+		FrameHeartbeat: nil,
+		FrameFenced:    nil,
 	}
 	var stream []byte
-	order := []FrameType{FrameHello, FrameSnapshot, FrameDelta, FrameAck, FrameResync}
+	order := []FrameType{FrameHello, FrameSnapshot, FrameDelta, FrameAck, FrameResync, FrameHeartbeat, FrameFenced}
 	for i, typ := range order {
-		stream = AppendFrame(stream, typ, uint64(100+i), uint64(i), payloads[typ])
+		stream = AppendFrame(stream, typ, uint64(9000+i), uint64(100+i), uint64(i), payloads[typ])
 	}
 	fr := NewFrameReader(bytes.NewReader(stream))
 	for i, typ := range order {
@@ -45,8 +47,8 @@ func TestFrameRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("frame %d: %v", i, err)
 		}
-		if f.Type != typ || f.Gen != uint64(100+i) || f.Prev != uint64(i) {
-			t.Fatalf("frame %d: got %v gen %d prev %d", i, f.Type, f.Gen, f.Prev)
+		if f.Type != typ || f.Epoch != uint64(9000+i) || f.Gen != uint64(100+i) || f.Prev != uint64(i) {
+			t.Fatalf("frame %d: got %v epoch %d gen %d prev %d", i, f.Type, f.Epoch, f.Gen, f.Prev)
 		}
 		if !bytes.Equal(f.Payload, payloads[typ]) {
 			t.Fatalf("frame %d: payload %x, want %x", i, f.Payload, payloads[typ])
@@ -58,7 +60,7 @@ func TestFrameRoundTrip(t *testing.T) {
 }
 
 func TestFrameReaderRejects(t *testing.T) {
-	valid := AppendFrame(nil, FrameDelta, 7, 6, []byte{1, 2, 3, 4})
+	valid := AppendFrame(nil, FrameDelta, 1, 7, 6, []byte{1, 2, 3, 4})
 	mutate := func(mod func(b []byte)) []byte {
 		b := append([]byte(nil), valid...)
 		mod(b)
@@ -74,7 +76,7 @@ func TestFrameReaderRejects(t *testing.T) {
 		{"zero type", mutate(func(b []byte) { b[5] = 0 }), "type"},
 		{"unknown type", mutate(func(b []byte) { b[5] = 42 }), "type"},
 		{"oversize payload", mutate(func(b []byte) {
-			binary.LittleEndian.PutUint32(b[22:], MaxPayload+1)
+			binary.LittleEndian.PutUint32(b[30:], MaxPayload+1)
 		}), "exceeds limit"},
 		{"truncated header", valid[:10], "EOF"},
 		{"truncated body", valid[:len(valid)-2], "short frame body"},
@@ -208,7 +210,7 @@ func TestFrameApplyAllocs(t *testing.T) {
 		t.Skip("race instrumentation allocates; the contract is enforced in the non-race pass")
 	}
 	m := core.New(core.TestConfig(), testEnc)
-	frame := AppendFrame(nil, FrameDelta, 2, 1, AppendModelPayload(nil, m, []int{0, 3, 5}))
+	frame := AppendFrame(nil, FrameDelta, 1, 2, 1, AppendModelPayload(nil, m, []int{0, 3, 5}))
 	br := bytes.NewReader(frame)
 	fr := NewFrameReader(br)
 	touched := make([]*nn.Param, 0, len(m.PS.Params()))

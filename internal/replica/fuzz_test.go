@@ -12,10 +12,10 @@ import (
 // checksum did not verify, and keep its payload-length bound.
 func FuzzFrameReader(f *testing.F) {
 	m := core.New(core.TestConfig(), testEnc)
-	valid := AppendFrame(nil, FrameDelta, 7, 6, AppendModelPayload(nil, m, []int{0, 2}))
+	valid := AppendFrame(nil, FrameDelta, 1, 7, 6, AppendModelPayload(nil, m, []int{0, 2}))
 	f.Add(valid)
-	f.Add(AppendFrame(nil, FrameAck, 3, 0, nil))
-	f.Add(AppendFrame(AppendFrame(nil, FrameHello, 0, 0, make([]byte, 8)), FrameResync, 5, 0, nil))
+	f.Add(AppendFrame(nil, FrameAck, 1, 3, 0, nil))
+	f.Add(AppendFrame(AppendFrame(nil, FrameHello, 0, 0, 0, make([]byte, 8)), FrameResync, 2, 5, 0, nil))
 	f.Add(valid[:len(valid)-3])
 	f.Add([]byte("CRPL"))
 	f.Add([]byte{})
@@ -33,7 +33,7 @@ func FuzzFrameReader(f *testing.F) {
 			if err != nil {
 				return
 			}
-			if fm.Type < FrameHello || fm.Type > FrameResync {
+			if fm.Type < FrameHello || fm.Type > FrameFenced {
 				t.Fatalf("decoded impossible frame type %d", fm.Type)
 			}
 			if len(fm.Payload) > MaxPayload {

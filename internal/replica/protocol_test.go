@@ -78,7 +78,12 @@ func TestFollowerProtocol(t *testing.T) {
 		Model:    model,
 		RetryMin: 5 * time.Millisecond,
 		RetryMax: 50 * time.Millisecond,
-		Logf:     t.Logf,
+		// The scripted primary plays frames by hand at test pace: silence
+		// the follower's heartbeats and read deadline so they never
+		// interleave with the script.
+		Heartbeat:   time.Hour,
+		PeerTimeout: time.Hour,
+		Logf:        t.Logf,
 	})
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan struct{})
@@ -115,7 +120,7 @@ func TestFollowerProtocol(t *testing.T) {
 		allIdx[i] = i
 	}
 	ref5 := core.NewServer(m, core.NewMemoryPool()) // reference for m's gen-5 weights
-	sp.send(AppendFrame(nil, FrameSnapshot, 5, 5, AppendModelPayload(nil, m, allIdx)))
+	sp.send(AppendFrame(nil, FrameSnapshot, 1, 5, 5, AppendModelPayload(nil, m, allIdx)))
 	sp.expect(FrameAck, 5)
 	if g := f.Generation(); g != 5 {
 		t.Fatalf("generation %d after snapshot, want 5", g)
@@ -127,11 +132,11 @@ func TestFollowerProtocol(t *testing.T) {
 	p0.Value[0] += 0.25
 	m.PS.MarkParamsUpdated([]*nn.Param{p0})
 	ref6 := core.NewServer(m, core.NewMemoryPool())
-	delta65 := AppendFrame(nil, FrameDelta, 6, 5, AppendModelPayload(nil, m, []int{0}))
+	delta65 := AppendFrame(nil, FrameDelta, 1, 6, 5, AppendModelPayload(nil, m, []int{0}))
 
 	// A delta building on generation 6 while the follower holds 5 is a gap:
 	// it must be skipped (never applied) and answered with a resync request.
-	sp.send(AppendFrame(nil, FrameDelta, 7, 6, AppendModelPayload(nil, m, []int{0})))
+	sp.send(AppendFrame(nil, FrameDelta, 1, 7, 6, AppendModelPayload(nil, m, []int{0})))
 	sp.expect(FrameResync, 5)
 	if st := f.Stats(); st.GenerationGaps != 1 {
 		t.Fatalf("generation gaps = %d, want 1 (%+v)", st.GenerationGaps, st)

@@ -2,10 +2,12 @@ package replica
 
 import (
 	"bufio"
+	"crypto/subtle"
 	"encoding/binary"
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"costest/internal/core"
 	"costest/internal/fault"
@@ -24,6 +26,13 @@ const (
 	// SiteRecv fires before every frame decode on the follower; latency
 	// rules delay apply, error rules drop the connection (reconnect path).
 	SiteRecv = "replica.recv"
+	// SiteHeartbeatSend fires before every heartbeat write (both sides);
+	// an error rule suppresses the heartbeat, so peers see silence and
+	// deadlines/leases expire as they would under a real stall.
+	SiteHeartbeatSend = "replica.heartbeat.send"
+	// SiteHeartbeatRecv fires when a follower receives a primary heartbeat;
+	// an error rule makes the follower ignore it (lease not renewed).
+	SiteHeartbeatRecv = "replica.heartbeat.recv"
 )
 
 // connQueueDepth bounds the per-follower outbound frame queue. A follower
@@ -32,6 +41,56 @@ const (
 // block or bloat the primary).
 const connQueueDepth = 32
 
+// PublisherConfig tunes the primary side of replication. The zero value is
+// usable: epoch 1, no auth token, 2s heartbeats.
+type PublisherConfig struct {
+	// Epoch is the primary epoch stamped into every frame — the cluster's
+	// fencing token. Exactly one publisher may stream under a given epoch;
+	// a promoted Member publishes under its predecessor's epoch + 1.
+	// Defaults to 1.
+	Epoch uint64
+	// Token is the pre-shared replication auth token. When non-empty, every
+	// follower hello must carry it (constant-time compare) or the
+	// connection is rejected before any payload is parsed.
+	Token string
+	// Heartbeat is the interval between liveness frames on every follower
+	// connection (default 2s).
+	Heartbeat time.Duration
+	// PeerTimeout bounds silence from a follower: each read arms a deadline
+	// of this length, and follower heartbeats keep it fed. A wedged peer is
+	// disconnected instead of blocking forever. Default 4 × Heartbeat.
+	PeerTimeout time.Duration
+	// WriteTimeout bounds every frame write (default PeerTimeout).
+	WriteTimeout time.Duration
+	// EvictAfter is how many consecutive publications may find a follower's
+	// send queue full before the follower is evicted (disconnected; it
+	// reconnects and heals by snapshot). Default 3.
+	EvictAfter int
+	// Logf receives lifecycle events; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (cfg *PublisherConfig) fill() {
+	if cfg.Epoch == 0 {
+		cfg.Epoch = 1
+	}
+	if cfg.Heartbeat <= 0 {
+		cfg.Heartbeat = 2 * time.Second
+	}
+	if cfg.PeerTimeout <= 0 {
+		cfg.PeerTimeout = 4 * cfg.Heartbeat
+	}
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = cfg.PeerTimeout
+	}
+	if cfg.EvictAfter <= 0 {
+		cfg.EvictAfter = 3
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+}
+
 // Publisher is the primary side of replication: it taps every Server
 // publication (register OnPublish via core.Server.SetPublishHook), keeps a
 // private mirror of the published weights, and streams delta frames to every
@@ -39,12 +98,19 @@ const connQueueDepth = 32
 // snapshot frames for new or lagging followers are encoded from the mirror
 // under the publisher's own lock, at any time, without touching the live
 // (possibly mid-step) training model.
+//
+// The publisher owns the replication generation counter: every publication
+// advances it by one, whatever the local Server version says. (A promoted
+// Member's server has its own version history; the replication generation is
+// the cluster-wide one.) GenOf maps local versions back to generations.
 type Publisher struct {
+	cfg PublisherConfig
+
 	mu     sync.Mutex
 	mirror *core.Model // publisher-owned copy of the last published weights
 	stamps []uint64    // per-param source stamps at last mirror sync
 	src    *core.Model // source model of the last publication
-	gen    uint64      // generation of the mirror = primary Server version
+	gen    uint64      // replication generation of the mirror
 	schema uint64
 	conns  map[*pubConn]struct{}
 	closed bool
@@ -54,6 +120,15 @@ type Publisher struct {
 
 	dirty  []int // scratch: indices dirtied by the current publication
 	allIdx []int // 0..nparams-1, for snapshot encoding
+
+	genA   atomic.Uint64 // lock-free view of gen (heartbeats, stats)
+	fenced atomic.Bool   // deposed: a follower proved a higher epoch exists
+	seenEp atomic.Uint64 // highest foreign epoch reported by a FrameFenced
+
+	verMu   sync.Mutex
+	verGen  map[uint64]uint64 // local Server version -> replication generation
+	verRing [genMapCap]uint64
+	verHead int
 
 	publications      atomic.Uint64
 	deltaFrames       atomic.Uint64
@@ -65,10 +140,14 @@ type Publisher struct {
 	droppedFrames     atomic.Uint64
 	corruptInjected   atomic.Uint64
 	rejectedConns     atomic.Uint64
+	authRejects       atomic.Uint64
+	heartbeatsSent    atomic.Uint64
+	evictions         atomic.Uint64
+	fencedDrops       atomic.Uint64 // publications ignored because fenced
 }
 
-// pubConn is one follower connection. needsSnapshot and ready are guarded by
-// Publisher.mu; acked is read by Stats without the lock.
+// pubConn is one follower connection. needsSnapshot, ready and stalls are
+// guarded by Publisher.mu; the counters are read by Stats without the lock.
 type pubConn struct {
 	nc            net.Conn
 	out           chan []byte // immutable encoded frames, shared across conns
@@ -76,7 +155,11 @@ type pubConn struct {
 	closeOnce     sync.Once
 	ready         bool // handshake complete, eligible for broadcast
 	needsSnapshot bool // next publication must send a full snapshot
+	stalls        int  // consecutive publications that found the queue full
 	acked         atomic.Uint64
+	framesSent    atomic.Uint64
+	framesDropped atomic.Uint64
+	hbOut         []byte // writeLoop-only heartbeat scratch
 }
 
 func (c *pubConn) trySend(b []byte) bool {
@@ -88,25 +171,27 @@ func (c *pubConn) trySend(b []byte) bool {
 	}
 }
 
-// NewPublisher builds a publisher mirroring m at generation gen (the owning
-// Server's current version). The caller must have m quiesced — construct the
-// publisher after the initial publish, before training starts — and then
-// register pub.OnPublish with core.Server.SetPublishHook. logf may be nil.
-func NewPublisher(m *core.Model, gen uint64, logf func(format string, args ...any)) *Publisher {
-	if logf == nil {
-		logf = func(string, ...any) {}
-	}
+// NewPublisher builds a publisher mirroring m at replication generation gen
+// (the owning Server's current version on a fresh primary, or the sealed
+// generation on a promoted Member). The caller must have m quiesced —
+// construct the publisher after the initial publish, before training starts
+// — and then register pub.OnPublish with core.Server.SetPublishHook.
+func NewPublisher(m *core.Model, gen uint64, cfg PublisherConfig) *Publisher {
+	cfg.fill()
 	params := m.PS.Params()
 	p := &Publisher{
+		cfg:    cfg,
 		mirror: core.New(m.Cfg, m.Enc),
 		stamps: make([]uint64, len(params)),
 		src:    m,
 		gen:    gen,
 		schema: SchemaHash(m),
 		conns:  make(map[*pubConn]struct{}),
-		logf:   logf,
+		logf:   cfg.Logf,
 		allIdx: make([]int, len(params)),
+		verGen: make(map[uint64]uint64, genMapCap),
 	}
+	p.genA.Store(gen)
 	mir := p.mirror.PS.Params()
 	for i, sp := range params {
 		copy(mir[i].Value, sp.Value)
@@ -117,15 +202,31 @@ func NewPublisher(m *core.Model, gen uint64, logf func(format string, args ...an
 	return p
 }
 
+// Epoch returns the epoch this publisher streams under.
+func (p *Publisher) Epoch() uint64 { return p.cfg.Epoch }
+
+// Generation returns the current replication generation.
+func (p *Publisher) Generation() uint64 { return p.genA.Load() }
+
+// Fenced reports whether the publisher has been deposed by a higher epoch.
+func (p *Publisher) Fenced() bool { return p.fenced.Load() }
+
 // OnPublish is the publish hook: called under the Server's publication lock
-// with training quiesced, it syncs the dirty parameters into the mirror,
-// encodes one immutable delta frame, and broadcasts it. Followers flagged
-// for catch-up get a snapshot frame instead; a follower whose queue is full
-// is skipped and flagged (healed by snapshot at a later publication).
+// with training quiesced, it advances the replication generation, syncs the
+// dirty parameters into the mirror, encodes one immutable delta frame, and
+// broadcasts it. Followers flagged for catch-up get a snapshot frame
+// instead; a follower whose queue is full is skipped and flagged (healed by
+// snapshot at a later publication), and after EvictAfter consecutive stalls
+// it is evicted outright. A fenced publisher ignores publications entirely.
 func (p *Publisher) OnPublish(m *core.Model, version uint64) {
+	if p.fenced.Load() {
+		p.fencedDrops.Add(1)
+		return
+	}
+	var evict []*pubConn
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	if p.closed {
+		p.mu.Unlock()
 		return
 	}
 	if m != p.src {
@@ -148,10 +249,13 @@ func (p *Publisher) OnPublish(m *core.Model, version uint64) {
 	}
 	p.mirror.CostNorm, p.mirror.CardNorm = m.CostNorm, m.CardNorm
 	prev := p.gen
-	p.gen = version
+	p.gen++
+	gen := p.gen
+	p.genA.Store(gen)
+	p.recordGen(version, gen)
 	p.publications.Add(1)
 
-	frame := AppendFrame(nil, FrameDelta, version, prev, AppendModelPayload(nil, p.mirror, p.dirty))
+	frame := AppendFrame(nil, FrameDelta, p.cfg.Epoch, gen, prev, AppendModelPayload(nil, p.mirror, p.dirty))
 	p.lastDeltaBytes.Store(uint64(len(frame)))
 	var snap []byte
 	for c := range p.conns {
@@ -164,23 +268,70 @@ func (p *Publisher) OnPublish(m *core.Model, version uint64) {
 			}
 			if c.trySend(snap) {
 				c.needsSnapshot = false
+				c.stalls = 0
 				p.snapshotFrames.Add(1)
 				p.snapshotBytes.Add(uint64(len(snap)))
+			} else if c.stalled(p.cfg.EvictAfter) {
+				evict = append(evict, c)
+			} else {
+				p.droppedFrames.Add(1)
 			}
 		} else if c.trySend(frame) {
+			c.stalls = 0
 			p.deltaFrames.Add(1)
 			p.deltaBytes.Add(uint64(len(frame)))
 		} else {
 			c.needsSnapshot = true
-			p.droppedFrames.Add(1)
+			if c.stalled(p.cfg.EvictAfter) {
+				evict = append(evict, c)
+			} else {
+				p.droppedFrames.Add(1)
+			}
 		}
 	}
+	p.mu.Unlock()
+	for _, c := range evict {
+		p.evictions.Add(1)
+		p.logf("replica: evicting slow follower %s (%d consecutive stalled publications)", c.nc.RemoteAddr(), p.cfg.EvictAfter)
+		p.drop(c)
+	}
+}
+
+// stalled records one more publish-time queue stall and reports whether the
+// eviction budget is exhausted. Caller holds p.mu.
+func (c *pubConn) stalled(evictAfter int) bool {
+	c.stalls++
+	c.framesDropped.Add(1)
+	return c.stalls >= evictAfter
+}
+
+// recordGen remembers which local Server version a replication generation
+// was published at, capped to the last genMapCap publications.
+func (p *Publisher) recordGen(version, gen uint64) {
+	p.verMu.Lock()
+	if len(p.verGen) >= genMapCap {
+		delete(p.verGen, p.verRing[p.verHead])
+	}
+	p.verRing[p.verHead] = version
+	p.verHead = (p.verHead + 1) % genMapCap
+	p.verGen[version] = gen
+	p.verMu.Unlock()
+}
+
+// GenOf reports the replication generation published at the given local
+// Server version — the bridge that anchors a primary's estimates to the
+// cluster-wide (epoch, generation) coordinates.
+func (p *Publisher) GenOf(version uint64) (uint64, bool) {
+	p.verMu.Lock()
+	g, ok := p.verGen[version]
+	p.verMu.Unlock()
+	return g, ok
 }
 
 // encodeSnapshotLocked encodes a full-snapshot frame of the mirror at the
 // current generation. Caller holds p.mu.
 func (p *Publisher) encodeSnapshotLocked() []byte {
-	b := AppendFrame(nil, FrameSnapshot, p.gen, p.gen, AppendModelPayload(nil, p.mirror, p.allIdx))
+	b := AppendFrame(nil, FrameSnapshot, p.cfg.Epoch, p.gen, p.gen, AppendModelPayload(nil, p.mirror, p.allIdx))
 	p.lastSnapshotBytes.Store(uint64(len(b)))
 	return b
 }
@@ -218,22 +369,42 @@ func (p *Publisher) Serve(ln net.Listener) {
 	}
 }
 
-// handleConn validates the hello handshake, starts the writer, and then
-// consumes acks and resync requests until the connection dies.
+// handleConn validates the hello handshake — auth token first, in constant
+// time, before any payload field is parsed — starts the writer, and then
+// consumes control frames until the connection dies. Every read arms a
+// PeerTimeout deadline; the follower's heartbeats keep it fed.
 func (p *Publisher) handleConn(c *pubConn) {
 	defer p.wg.Done()
 	defer p.drop(c)
+	if p.fenced.Load() {
+		p.rejectedConns.Add(1)
+		return
+	}
 	fr := NewFrameReader(bufio.NewReaderSize(c.nc, 32<<10))
+	c.nc.SetReadDeadline(time.Now().Add(p.cfg.PeerTimeout))
 	f, err := fr.Read()
-	if err != nil || f.Type != FrameHello || len(f.Payload) != 8 {
+	if err != nil || f.Type != FrameHello || len(f.Payload) < 8 {
 		p.rejectedConns.Add(1)
 		p.logf("replica: rejected connection from %s: bad hello (%v)", c.nc.RemoteAddr(), err)
+		return
+	}
+	if subtle.ConstantTimeCompare(f.Payload[8:], []byte(p.cfg.Token)) != 1 {
+		p.rejectedConns.Add(1)
+		p.authRejects.Add(1)
+		p.logf("replica: rejected connection from %s: bad auth token", c.nc.RemoteAddr())
 		return
 	}
 	if got := binary.LittleEndian.Uint64(f.Payload); got != p.schema {
 		p.rejectedConns.Add(1)
 		p.logf("replica: rejected follower %s: schema %#x, primary has %#x", c.nc.RemoteAddr(), got, p.schema)
 		return
+	}
+	if f.Epoch > p.cfg.Epoch {
+		// The follower claims a higher epoch exists. Its first stale-epoch
+		// frame from us will draw an authenticated FrameFenced reply, which
+		// is what actually fences us — a hello alone doesn't depose a
+		// primary, but it is worth logging.
+		p.logf("replica: follower %s reports epoch %d above ours (%d)", c.nc.RemoteAddr(), f.Epoch, p.cfg.Epoch)
 	}
 
 	p.mu.Lock()
@@ -243,8 +414,9 @@ func (p *Publisher) handleConn(c *pubConn) {
 	}
 	gen := p.gen
 	c.ready = true
-	if f.Gen == p.gen && f.Gen != 0 {
-		// Reconnecting follower already at our generation: nothing to send.
+	if f.Gen == p.gen && f.Gen != 0 && f.Epoch == p.cfg.Epoch {
+		// Reconnecting follower already at our generation and epoch:
+		// nothing to send.
 		c.acked.Store(f.Gen)
 	} else {
 		snap := p.encodeSnapshotLocked()
@@ -256,11 +428,12 @@ func (p *Publisher) handleConn(c *pubConn) {
 		}
 	}
 	p.mu.Unlock()
-	p.logf("replica: follower %s connected at generation %d (primary at %d)", c.nc.RemoteAddr(), f.Gen, gen)
+	p.logf("replica: follower %s connected at generation %d (primary at %d, epoch %d)", c.nc.RemoteAddr(), f.Gen, gen, p.cfg.Epoch)
 
 	p.wg.Add(1)
 	go p.writeLoop(c)
 	for {
+		c.nc.SetReadDeadline(time.Now().Add(p.cfg.PeerTimeout))
 		f, err := fr.Read()
 		if err == ErrChecksum {
 			continue // control frame corrupted in transit; follower will resend
@@ -271,6 +444,14 @@ func (p *Publisher) handleConn(c *pubConn) {
 		switch f.Type {
 		case FrameAck:
 			c.acked.Store(f.Gen)
+		case FrameHeartbeat:
+			// Liveness only: receiving it already re-armed the deadline.
+		case FrameFenced:
+			// An authenticated follower proved a higher epoch exists: we
+			// are deposed. Fence ourselves — stop broadcasting, sever every
+			// follower so they move to the new primary.
+			p.fence(f.Epoch)
+			return
 		case FrameResync:
 			p.mu.Lock()
 			if _, live := p.conns[c]; live {
@@ -288,10 +469,24 @@ func (p *Publisher) handleConn(c *pubConn) {
 	}
 }
 
+// fence marks the publisher deposed by a higher epoch. Publications become
+// no-ops and every follower is severed so it can find the new primary.
+func (p *Publisher) fence(higher uint64) {
+	if p.fenced.Swap(true) {
+		return
+	}
+	p.seenEp.Store(higher)
+	p.logf("replica: FENCED — epoch %d deposed by epoch %d, ceasing publication", p.cfg.Epoch, higher)
+	p.DisconnectAll()
+}
+
 // writeLoop drains the connection's frame queue onto the socket, applying
-// the fault-injection sites.
+// the fault-injection sites, and interleaves heartbeat frames so the
+// follower's lease and read deadline stay fed between publications.
 func (p *Publisher) writeLoop(c *pubConn) {
 	defer p.wg.Done()
+	hb := time.NewTicker(p.cfg.Heartbeat)
+	defer hb.Stop()
 	for {
 		select {
 		case b := <-c.out:
@@ -299,6 +494,18 @@ func (p *Publisher) writeLoop(c *pubConn) {
 				p.drop(c)
 				return
 			}
+			c.framesSent.Add(1)
+		case <-hb.C:
+			if fault.Point(SiteHeartbeatSend) != nil {
+				continue // injected heartbeat suppression: peer sees silence
+			}
+			c.hbOut = AppendFrame(c.hbOut[:0], FrameHeartbeat, p.cfg.Epoch, p.genA.Load(), 0, nil)
+			if err := p.writeFrame(c, c.hbOut); err != nil {
+				p.drop(c)
+				return
+			}
+			c.framesSent.Add(1)
+			p.heartbeatsSent.Add(1)
 		case <-c.done:
 			return
 		}
@@ -319,6 +526,7 @@ func (p *Publisher) writeFrame(c *pubConn, b []byte) error {
 		b = cb
 		p.corruptInjected.Add(1)
 	}
+	c.nc.SetWriteDeadline(time.Now().Add(p.cfg.WriteTimeout))
 	_, err := c.nc.Write(b)
 	return err
 }
@@ -338,7 +546,7 @@ func (p *Publisher) drop(c *pubConn) {
 }
 
 // DisconnectAll severs every follower connection (they will reconnect and
-// catch up) — a test and drain hook.
+// catch up) — a fencing, test and drain hook.
 func (p *Publisher) DisconnectAll() {
 	p.mu.Lock()
 	conns := make([]*pubConn, 0, len(p.conns))
@@ -372,26 +580,45 @@ func (p *Publisher) Close() {
 	p.wg.Wait()
 }
 
+// PubConnStats is the per-follower-connection view inside PublisherStats.
+type PubConnStats struct {
+	Remote        string `json:"remote"`
+	AckedGen      uint64 `json:"acked_generation"`
+	FramesSent    uint64 `json:"frames_sent"`
+	FramesDropped uint64 `json:"frames_dropped"`
+}
+
 // PublisherStats is the /statsz view of a publisher.
 type PublisherStats struct {
-	Generation        uint64 `json:"generation"`
-	Followers         int    `json:"followers"`
-	MinAckedGen       uint64 `json:"min_acked_generation"`
-	Publications      uint64 `json:"publications"`
-	DeltaFrames       uint64 `json:"delta_frames"`
-	SnapshotFrames    uint64 `json:"snapshot_frames"`
-	DeltaBytes        uint64 `json:"delta_bytes"`
-	SnapshotBytes     uint64 `json:"snapshot_bytes"`
-	LastDeltaBytes    uint64 `json:"last_delta_bytes"`
-	LastSnapshotBytes uint64 `json:"last_snapshot_bytes"`
-	DroppedFrames     uint64 `json:"dropped_frames"`
-	CorruptInjected   uint64 `json:"corrupt_frames_injected"`
-	RejectedConns     uint64 `json:"rejected_conns"`
+	Epoch             uint64         `json:"epoch"`
+	Fenced            bool           `json:"fenced"`
+	FencedBy          uint64         `json:"fenced_by_epoch,omitempty"`
+	Generation        uint64         `json:"generation"`
+	Followers         int            `json:"followers"`
+	MinAckedGen       uint64         `json:"min_acked_generation"`
+	Publications      uint64         `json:"publications"`
+	DeltaFrames       uint64         `json:"delta_frames"`
+	SnapshotFrames    uint64         `json:"snapshot_frames"`
+	DeltaBytes        uint64         `json:"delta_bytes"`
+	SnapshotBytes     uint64         `json:"snapshot_bytes"`
+	LastDeltaBytes    uint64         `json:"last_delta_bytes"`
+	LastSnapshotBytes uint64         `json:"last_snapshot_bytes"`
+	DroppedFrames     uint64         `json:"dropped_frames"`
+	CorruptInjected   uint64         `json:"corrupt_frames_injected"`
+	RejectedConns     uint64         `json:"rejected_conns"`
+	AuthRejects       uint64         `json:"auth_rejects"`
+	HeartbeatsSent    uint64         `json:"heartbeats_sent"`
+	Evictions         uint64         `json:"slow_follower_evictions"`
+	FencedDrops       uint64         `json:"fenced_publications_dropped"`
+	Conns             []PubConnStats `json:"conns,omitempty"`
 }
 
 // Stats snapshots the publisher's counters.
 func (p *Publisher) Stats() PublisherStats {
 	st := PublisherStats{
+		Epoch:             p.cfg.Epoch,
+		Fenced:            p.fenced.Load(),
+		FencedBy:          p.seenEp.Load(),
 		Publications:      p.publications.Load(),
 		DeltaFrames:       p.deltaFrames.Load(),
 		SnapshotFrames:    p.snapshotFrames.Load(),
@@ -402,6 +629,10 @@ func (p *Publisher) Stats() PublisherStats {
 		DroppedFrames:     p.droppedFrames.Load(),
 		CorruptInjected:   p.corruptInjected.Load(),
 		RejectedConns:     p.rejectedConns.Load(),
+		AuthRejects:       p.authRejects.Load(),
+		HeartbeatsSent:    p.heartbeatsSent.Load(),
+		Evictions:         p.evictions.Load(),
+		FencedDrops:       p.fencedDrops.Load(),
 	}
 	p.mu.Lock()
 	st.Generation = p.gen
@@ -410,9 +641,16 @@ func (p *Publisher) Stats() PublisherStats {
 			continue
 		}
 		st.Followers++
-		if a := c.acked.Load(); st.MinAckedGen == 0 || a < st.MinAckedGen {
+		a := c.acked.Load()
+		if st.MinAckedGen == 0 || a < st.MinAckedGen {
 			st.MinAckedGen = a
 		}
+		st.Conns = append(st.Conns, PubConnStats{
+			Remote:        c.nc.RemoteAddr().String(),
+			AckedGen:      a,
+			FramesSent:    c.framesSent.Load(),
+			FramesDropped: c.framesDropped.Load(),
+		})
 	}
 	p.mu.Unlock()
 	return st

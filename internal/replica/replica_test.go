@@ -75,7 +75,7 @@ func startPrimary(t testing.TB, m *core.Model, tr *core.Trainer) (*core.Server, 
 	t.Helper()
 	srv := core.NewServer(m, core.NewMemoryPool())
 	tr.Publish(srv)
-	pub := NewPublisher(m, srv.Version(), t.Logf)
+	pub := NewPublisher(m, srv.Version(), PublisherConfig{Logf: t.Logf})
 	srv.SetPublishHook(pub.OnPublish)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {

@@ -41,6 +41,20 @@ type Service struct {
 	// /statsz — a replication primary installs its publisher's counters, a
 	// replica its follower's (generation, lag, frames applied/rejected).
 	ReplicationStats func() any
+	// GenerationOf, when set, maps a local snapshot version to cluster
+	// (epoch, generation) coordinates, which /estimate responses then carry
+	// so clients can anchor cross-replica comparisons. Versions the
+	// replication runtime has not (yet) mapped report ok=false and the
+	// fields are omitted.
+	GenerationOf func(version uint64) (epoch, gen uint64, ok bool)
+	// ClusterState, when set, reports the cluster member's role
+	// ("following" / "promoting" / "primary"); /readyz reflects it so an
+	// orchestrator can see a failover in flight.
+	ClusterState func() string
+	// ClusterStats, when set, is rendered under "cluster" in /statsz — an
+	// HA cluster member installs its MemberStats here (state, epoch, lease,
+	// promotion counters).
+	ClusterStats func() any
 
 	ready  atomic.Bool
 	sample atomic.Pointer[WirePlan]
@@ -75,11 +89,17 @@ type estimateRequest struct {
 // wireEstimate is one estimate in a response. Degraded marks an answer from
 // the circuit breaker's fallback path: served from the last-known-good
 // snapshot (whose version it reports) instead of the freshest published one.
+// Epoch and Generation are the cluster-wide replication coordinates of the
+// serving model (present when the daemon replicates): two daemons reporting
+// the same (epoch, generation) serve bit-identical estimates, whatever their
+// local versions say.
 type wireEstimate struct {
-	Cost     float64 `json:"cost"`
-	Card     float64 `json:"card"`
-	Version  uint64  `json:"version"`
-	Degraded bool    `json:"degraded,omitempty"`
+	Cost       float64 `json:"cost"`
+	Card       float64 `json:"card"`
+	Version    uint64  `json:"version"`
+	Epoch      uint64  `json:"epoch,omitempty"`
+	Generation uint64  `json:"generation,omitempty"`
+	Degraded   bool    `json:"degraded,omitempty"`
 }
 
 type estimateResponse struct {
@@ -97,6 +117,9 @@ type statszResponse struct {
 	// Replication carries PublisherStats on a primary, FollowerStats (lag
 	// included) on a replica.
 	Replication any `json:"replication,omitempty"`
+	// Cluster carries MemberStats (state, epoch, lease, promotions) on an
+	// HA cluster member.
+	Cluster any `json:"cluster,omitempty"`
 }
 
 type poolStats struct {
@@ -154,6 +177,14 @@ func (s *Service) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "degraded (serving from last-known-good snapshot)")
 		return
 	}
+	if s.ClusterState != nil {
+		if st := s.ClusterState(); st == "promoting" {
+			// Mid-failover: still serving the sealed weights, but tell the
+			// orchestrator an election is in flight.
+			fmt.Fprintln(w, "promoting (taking over as replication primary)")
+			return
+		}
+	}
 	fmt.Fprintln(w, "ready")
 }
 
@@ -169,6 +200,9 @@ func (s *Service) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.ReplicationStats != nil {
 		resp.Replication = s.ReplicationStats()
+	}
+	if s.ClusterStats != nil {
+		resp.Cluster = s.ClusterStats()
 	}
 	if p := s.srv.Pool(); p != nil {
 		resp.Pool = &poolStats{
@@ -283,12 +317,18 @@ func (s *Service) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := estimateResponse{Estimates: make([]wireEstimate, len(results))}
 	for i, res := range results {
-		resp.Estimates[i] = wireEstimate{
+		we := wireEstimate{
 			Cost:     res.Cost,
 			Card:     res.Card,
 			Version:  res.Version,
 			Degraded: res.Degraded,
 		}
+		if s.GenerationOf != nil {
+			if ep, gen, ok := s.GenerationOf(res.Version); ok {
+				we.Epoch, we.Generation = ep, gen
+			}
+		}
+		resp.Estimates[i] = we
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

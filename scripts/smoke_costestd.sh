@@ -16,9 +16,14 @@
 #     replicated model lands and then serve /estimate answers identical to
 #     the primary's; the follower is then killed (-9) mid-stream, restarted,
 #     and must catch up to identical answers again.
+#  4. Failover: a primary streams to a promotable cluster member (-peers,
+#     -promote-rank 0). The primary is killed -9; the member's lease lapses,
+#     it promotes (epoch 2 in /statsz and /estimate) and keeps serving; the
+#     old primary then restarts as a follower of the new primary and catches
+#     up to byte-identical answers.
 #
 # Run from the repository root: scripts/smoke_costestd.sh [port]
-# (the replication scenario also uses port+1 and port+2)
+# (the replication scenarios also use port+1 .. port+3)
 set -eu
 
 port="${1:-18099}"
@@ -212,4 +217,77 @@ wait "$pid" || status=$?
 pid=""
 [ "$status" -eq 0 ] || { echo "smoke_costestd: primary exit status $status after SIGTERM"; cat "$plog"; exit 1; }
 
-echo "smoke_costestd: OK (serve+drain, kill-mid-checkpoint, cold-start from last-good, replication catch-up)"
+# Scenario 4: failover. A primary streams to a promotable cluster member.
+# kill -9 the primary: the member's primary-liveness lease lapses, it
+# promotes to epoch 2 on its own replication listener and keeps serving;
+# the old primary restarts as a plain follower of the new primary and
+# catches back up to byte-identical answers.
+rport2=$((port + 3))
+alog="$work/ha_primary.log"
+mlog="$work/ha_member.log"
+
+"$bin" -addr "127.0.0.1:$port" -scale 0.02 -queries 60 -epochs 2 \
+    -retrain 400ms -gate-slack=-1 \
+    -replicate-listen "127.0.0.1:$rport" >"$alog" 2>&1 &
+pid=$!
+logf="$alog"
+base="http://127.0.0.1:$port"
+wait_ready
+sample="$(curl -sf "$base/samplez")"
+
+"$bin" -addr "127.0.0.1:$fport" -scale 0.02 -queries 60 \
+    -peers "127.0.0.1:$rport" -promote-rank 0 -replicate-listen "127.0.0.1:$rport2" \
+    -lease 2s -heartbeat 250ms -retrain 400ms >"$mlog" 2>&1 &
+pid2=$!
+flog="$mlog"
+wait_follower_ready
+expect_identical
+
+# Kill -9 the primary mid-stream: the member must detect the lapsed lease
+# and promote within the lease bound (poll generously for slow CI).
+kill -9 "$pid"
+wait "$pid" 2>/dev/null || true
+pid=""
+i=0
+while [ "$i" -lt 60 ]; do
+    if curl -sf "http://127.0.0.1:$fport/statsz" | grep -q '"state": *"primary"'; then
+        break
+    fi
+    kill -0 "$pid2" 2>/dev/null || { echo "smoke_costestd: member died during failover"; cat "$mlog"; exit 1; }
+    i=$((i + 1))
+    sleep 0.5
+done
+[ "$i" -lt 60 ] || { echo "smoke_costestd: member never promoted after primary kill"; cat "$mlog"; exit 1; }
+grep -q "PROMOTED to primary at epoch 2" "$mlog" || {
+    echo "smoke_costestd: no promotion log line"; cat "$mlog"; exit 1;
+}
+curl -sf "http://127.0.0.1:$fport/statsz" | grep -q '"epoch": *2' || {
+    echo "smoke_costestd: promoted member /statsz does not report epoch 2"; exit 1;
+}
+[ "$(curl -s -o /dev/null -w '%{http_code}' "http://127.0.0.1:$fport/readyz" 2>/dev/null)" = 200 ] || {
+    echo "smoke_costestd: promoted member stopped serving"; cat "$mlog"; exit 1;
+}
+printf '%s' "$sample" | curl -sf -X POST --data @- "http://127.0.0.1:$fport/estimate" | grep -q '"epoch": *2' || {
+    echo "smoke_costestd: promoted member /estimate does not carry epoch 2"; exit 1;
+}
+
+# The old primary comes back — as a follower of the new primary — and must
+# catch up to byte-identical answers.
+"$bin" -addr "127.0.0.1:$port" -scale 0.02 -queries 60 \
+    -follow "127.0.0.1:$rport2" >>"$alog" 2>&1 &
+pid=$!
+wait_ready
+expect_identical
+
+kill -TERM "$pid"
+status=0
+wait "$pid" || status=$?
+pid=""
+[ "$status" -eq 0 ] || { echo "smoke_costestd: rejoined ex-primary exit status $status after SIGTERM"; cat "$alog"; exit 1; }
+kill -TERM "$pid2"
+status=0
+wait "$pid2" || status=$?
+pid2=""
+[ "$status" -eq 0 ] || { echo "smoke_costestd: promoted member exit status $status after SIGTERM"; cat "$mlog"; exit 1; }
+
+echo "smoke_costestd: OK (serve+drain, kill-mid-checkpoint, cold-start from last-good, replication catch-up, failover promotion)"
