@@ -35,8 +35,9 @@
 // connections fed, read/write deadlines catch dead peers). A promotable
 // member (-promote-rank 0, -lease) whose lease lapses promotes itself: it
 // seals the last applied generation, boots a parallel trainer over its
-// mirror model, and publishes from its own -replicate-listen under the next
-// epoch while the surviving members re-dial through the peer list onto it.
+// mirror model (paced by -retrain; 0 keeps the promoted member serve-only),
+// and publishes from its own -replicate-listen under the next epoch while
+// the surviving members re-dial through the peer list onto it.
 // Every frame carries the publisher's epoch; frames from a deposed primary's
 // stale epoch are fenced — rejected by followers and answered with a fencing
 // frame that silences the zombie. -replicate-token adds a constant-time
@@ -93,7 +94,7 @@ func main() {
 		window     = flag.Duration("batch-window", 2*time.Millisecond, "coalescing wait after a batch's first request")
 		workers    = flag.Int("workers", 0, "EstimateBatch workers (0 = GOMAXPROCS)")
 		poolBound  = flag.Int("pool", 4096, "representation pool entry bound")
-		retrain    = flag.Duration("retrain", 0, "background retrain+publish interval (0 disables)")
+		retrain    = flag.Duration("retrain", 0, "background retrain+publish interval; in -peers mode also the promoted member's training cadence (0 disables training entirely)")
 
 		gateSlack = flag.Float64("gate-slack", 0.10, "allowed relative validation q-error regression before a retrained model is gated (negative disables the gate)")
 		ckptEvery = flag.Int("checkpoint-every", 1, "checkpoint every Nth published model (requires -checkpoint)")
@@ -235,22 +236,29 @@ func main() {
 	case *peers != "":
 		// HA cluster member: follow the live primary through the ordered peer
 		// list; a promotable member (rank >= 0) watches the primary lease and
-		// takes over as the training primary when it lapses.
+		// takes over as the training primary when it lapses. After promotion,
+		// -retrain paces the member's training epochs exactly as it paces a
+		// boot primary's retrain cycles — and with -retrain 0 (the default)
+		// the promoted member serves and heartbeats without advancing the
+		// model, again like a boot primary: a failover must not silently
+		// switch on continuous training load.
+		var memberTrain []*feature.EncodedPlan
+		if *retrain > 0 {
+			memberTrain = eps
+		}
 		member := replica.NewMember(replica.MemberConfig{
-			Peers:     strings.Split(*peers, ","),
-			Rank:      *promoRank,
-			Token:     *replToken,
-			Server:    srv,
-			Model:     model,
-			Listen:    *replListen,
-			Lease:     *lease,
-			Heartbeat: *heartbeat,
-			Train:     eps,
-			BatchSize: 16,
-			Workers:   *workers,
-			Shards:    *shards,
-			// After a promotion, -retrain paces the member's own training
-			// epochs exactly as it paces a boot primary's retrain cycles.
+			Peers:         strings.Split(*peers, ","),
+			Rank:          *promoRank,
+			Token:         *replToken,
+			Server:        srv,
+			Model:         model,
+			Listen:        *replListen,
+			Lease:         *lease,
+			Heartbeat:     *heartbeat,
+			Train:         memberTrain,
+			BatchSize:     16,
+			Workers:       *workers,
+			Shards:        *shards,
 			TrainInterval: *retrain,
 			Logf:          log.Printf,
 		})

@@ -119,10 +119,31 @@ type Member struct {
 	ln      net.Listener
 	usedPre bool // cfg.Listener already consumed by a prior promotion
 
+	lastEpoch atomic.Uint64 // highest epoch this member ever published under
+
 	promotions     atomic.Uint64
 	abortedPromos  atomic.Uint64
 	demotions      atomic.Uint64
 	promotionNanos atomic.Uint64 // lease-lapse detection → publishing live
+}
+
+// promoteEpoch seeds the epoch a promoting member publishes under: strictly
+// above every epoch it has evidence of — the highest epoch it observed as a
+// follower, the highest epoch it ever published under itself (a demoted
+// ex-primary must never reuse an epoch whose (epoch, generation) coordinates
+// may already be serving history), and the boot primary's DefaultEpoch (a
+// member whose lease lapses before any frame ever arrives — the boot primary
+// down at cluster start — must not collide with a default-configured primary
+// and split the cluster under a shared epoch).
+func promoteEpoch(observed, ownLast uint64) uint64 {
+	e := observed
+	if ownLast > e {
+		e = ownLast
+	}
+	if e < DefaultEpoch {
+		e = DefaultEpoch
+	}
+	return e + 1
 }
 
 // NewMember builds a member; call Run to start it.
@@ -209,7 +230,8 @@ func (m *Member) onLeaseExpired() bool {
 	// from the seal under the next epoch, so cross-epoch history never
 	// reuses an (epoch, generation) coordinate.
 	sealedGen := m.fol.Generation()
-	epoch := m.fol.Epoch() + 1
+	epoch := promoteEpoch(m.fol.Epoch(), m.lastEpoch.Load())
+	m.lastEpoch.Store(epoch)
 	pub := NewPublisher(m.cfg.Model, sealedGen, PublisherConfig{
 		Epoch:        epoch,
 		Token:        m.cfg.Token,
@@ -276,6 +298,11 @@ func (m *Member) primaryLoop(ctx context.Context) {
 		}
 	}
 	if ctx.Err() == nil && pub.Fenced() {
+		// Fold the fencing epoch back into the follower before rejoining:
+		// frames below it stay rejected while following, and a later
+		// re-promotion seeds strictly above it (the publisher only fences on
+		// a strictly higher epoch, so FencedBy also bounds our own epoch).
+		m.fol.ObserveEpoch(pub.FencedBy())
 		m.closePrimary()
 	}
 }

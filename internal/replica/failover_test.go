@@ -2,6 +2,7 @@ package replica
 
 import (
 	"context"
+	"encoding/binary"
 	"math"
 	"net"
 	"sync"
@@ -329,6 +330,259 @@ func TestFailoverConformance(t *testing.T) {
 	}
 	t.Logf("chaos: %d corrupt injected, %d rejected; C fenced the zombie %d times",
 		injected, rejected, C.member.Follower().Stats().FencedRejected)
+}
+
+// TestPromoteEpoch pins the promotion epoch seeding rule: strictly above the
+// highest observed epoch, the member's own last published epoch, and the
+// boot primary's DefaultEpoch — so a member that never heard from any
+// primary cannot collide with a default-configured boot primary, and a
+// demoted ex-primary never reuses an epoch it already published under.
+func TestPromoteEpoch(t *testing.T) {
+	cases := []struct{ observed, ownLast, want uint64 }{
+		{0, 0, 2}, // never saw a frame: must clear the boot primary's default epoch 1
+		{1, 0, 2}, // followed the boot primary
+		{5, 0, 6},
+		{0, 3, 4}, // ex-primary with no observed view: own epoch dominates
+		{2, 7, 8},
+		{9, 4, 10},
+	}
+	for _, tc := range cases {
+		if got := promoteEpoch(tc.observed, tc.ownLast); got != tc.want {
+			t.Errorf("promoteEpoch(%d, %d) = %d, want %d", tc.observed, tc.ownLast, got, tc.want)
+		}
+	}
+}
+
+// TestBootPromotionClearsBootEpoch boots a promotable member whose whole
+// peer list is dead — the boot primary never came up. The lease lapses
+// before any frame was ever applied, and the promoted epoch must still be
+// above DefaultEpoch: were it 1, a later boot of the default-configured
+// primary would stream under the same epoch and split the cluster.
+func TestBootPromotionClearsBootEpoch(t *testing.T) {
+	samples := labeledSamples(t, 43, 6)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	B, _, _ := startMember(t, core.TestConfig(), samples, MemberConfig{
+		Peers: []string{"127.0.0.1:1"}, Rank: 0, Listener: ln,
+		Lease: 150 * time.Millisecond, Heartbeat: 20 * time.Millisecond,
+		RetryMin: 5 * time.Millisecond, RetryMax: 20 * time.Millisecond,
+		TrainInterval: 5 * time.Millisecond, BatchSize: 8,
+		Logf: t.Logf,
+	})
+	waitFor(t, 15*time.Second, "boot promotion", func() bool {
+		return B.member.State() == StatePrimary
+	})
+	if ep := B.member.Epoch(); ep <= DefaultEpoch {
+		t.Fatalf("boot promotion epoch = %d, must be above the boot primary's default %d", ep, DefaultEpoch)
+	}
+}
+
+// TestLeaseBoundsFailoverUnderWedgedPeer wedges the only peer (accepts, then
+// total silence) with an hour-long PeerTimeout and DialTimeout: the member's
+// read deadline must be capped by the remaining lease, so the lapse is still
+// detected and promotion happens on the lease bound — not lease + PeerTimeout.
+func TestLeaseBoundsFailoverUnderWedgedPeer(t *testing.T) {
+	samples := labeledSamples(t, 47, 6)
+	wedged, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	var mu sync.Mutex
+	var held []net.Conn
+	go func() {
+		for {
+			c, err := wedged.Accept()
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			held = append(held, c) // hold open, never read or write
+			mu.Unlock()
+		}
+	}()
+	t.Cleanup(func() {
+		wedged.Close()
+		mu.Lock()
+		defer mu.Unlock()
+		for _, c := range held {
+			c.Close()
+		}
+	})
+
+	lnB, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen B: %v", err)
+	}
+	const leaseD = 250 * time.Millisecond
+	start := time.Now()
+	B, _, _ := startMember(t, core.TestConfig(), samples, MemberConfig{
+		Peers: []string{wedged.Addr().String()}, Rank: 0, Listener: lnB,
+		Lease: leaseD, Heartbeat: 50 * time.Millisecond,
+		PeerTimeout: time.Hour, DialTimeout: time.Hour, WriteTimeout: time.Hour,
+		RetryMin: 5 * time.Millisecond, RetryMax: 20 * time.Millisecond,
+		TrainInterval: 5 * time.Millisecond, BatchSize: 8,
+		Logf: t.Logf,
+	})
+	// Generous CI bound — but hours below PeerTimeout, which is the point:
+	// only the lease cap on the read deadline lets the lapse be seen at all.
+	waitFor(t, 30*time.Second, "promotion past the wedged peer", func() bool {
+		return B.member.State() == StatePrimary
+	})
+	t.Logf("promoted %v after boot (lease %v, peer timeout 1h)", time.Since(start).Round(time.Millisecond), leaseD)
+}
+
+// TestFenceRequiresHigherEpoch proves a healthy primary cannot be silenced
+// by a bogus fence claim: FrameFenced at an equal or lower epoch is ignored,
+// only a strictly higher epoch deposes the publisher.
+func TestFenceRequiresHigherEpoch(t *testing.T) {
+	samples := labeledSamples(t, 53, 6)
+	primEps := encodePlans(t, samples)
+	m, tr := trainedModel(t, primEps, 1)
+	srv := core.NewServer(m, core.NewMemoryPool())
+	tr.Publish(srv)
+	pub := NewPublisher(m, srv.Version(), PublisherConfig{Epoch: 3, Logf: t.Logf})
+	srv.SetPublishHook(pub.OnPublish)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go pub.Serve(ln)
+	t.Cleanup(pub.Close)
+
+	hello := make([]byte, 8)
+	binary.LittleEndian.PutUint64(hello, SchemaHash(m))
+	fence := func(epoch uint64) net.Conn {
+		t.Helper()
+		nc, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		if _, err := nc.Write(AppendFrame(nil, FrameHello, epoch, 0, 0, hello)); err != nil {
+			t.Fatalf("hello: %v", err)
+		}
+		if _, err := nc.Write(AppendFrame(nil, FrameFenced, epoch, 0, 0, nil)); err != nil {
+			t.Fatalf("fence frame: %v", err)
+		}
+		return nc
+	}
+
+	for _, bogus := range []uint64{0, 2, 3} { // zero, lower, equal
+		nc := fence(bogus)
+		time.Sleep(100 * time.Millisecond)
+		if pub.Fenced() {
+			t.Fatalf("publisher at epoch 3 fenced by a claim at epoch %d", bogus)
+		}
+		nc.Close()
+	}
+	nc := fence(4)
+	defer nc.Close()
+	waitFor(t, 10*time.Second, "fencing by a strictly higher epoch", func() bool {
+		return pub.Fenced()
+	})
+	if by := pub.FencedBy(); by != 4 {
+		t.Fatalf("FencedBy = %d, want 4", by)
+	}
+}
+
+// TestDemotedMemberNeverReusesConsumedEpochs drives the full demote →
+// re-promote cycle: a boot-promoted member (epoch 2) is fenced by a scripted
+// follower claiming epoch 5, demotes, and — with its peer list still dead —
+// promotes again. The second promotion must publish strictly above the
+// fencing epoch (6), never reusing 2..5: a reused epoch would replay
+// (epoch, generation) coordinates with different weights.
+func TestDemotedMemberNeverReusesConsumedEpochs(t *testing.T) {
+	samples := labeledSamples(t, 59, 6)
+	lnB, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	B, _, _ := startMember(t, core.TestConfig(), samples, MemberConfig{
+		Peers: []string{"127.0.0.1:1"}, Rank: 0,
+		Listener: lnB, Listen: lnB.Addr().String(), // re-promotion rebinds the same port
+		Lease: 150 * time.Millisecond, Heartbeat: 20 * time.Millisecond,
+		PeerTimeout: 100 * time.Millisecond,
+		RetryMin:    5 * time.Millisecond, RetryMax: 20 * time.Millisecond,
+		TrainInterval: 5 * time.Millisecond, BatchSize: 8,
+		Logf: t.Logf,
+	})
+	waitFor(t, 15*time.Second, "boot promotion", func() bool {
+		return B.member.State() == StatePrimary
+	})
+	if ep := B.member.Epoch(); ep != 2 {
+		t.Fatalf("boot promotion epoch = %d, want 2", ep)
+	}
+
+	// A scripted follower at epoch 5 fences the member's publisher.
+	nc, err := net.Dial("tcp", lnB.Addr().String())
+	if err != nil {
+		t.Fatalf("dial member: %v", err)
+	}
+	defer nc.Close()
+	hello := make([]byte, 8)
+	binary.LittleEndian.PutUint64(hello, SchemaHash(B.model))
+	if _, err := nc.Write(AppendFrame(nil, FrameHello, 5, 0, 0, hello)); err != nil {
+		t.Fatalf("hello: %v", err)
+	}
+	if _, err := nc.Write(AppendFrame(nil, FrameFenced, 5, 0, 0, nil)); err != nil {
+		t.Fatalf("fence frame: %v", err)
+	}
+	waitFor(t, 15*time.Second, "demotion", func() bool {
+		return B.member.Stats().Demotions >= 1
+	})
+
+	// Peer list still dead: the lease lapses again and the member
+	// re-promotes — strictly above the epoch that fenced it.
+	waitFor(t, 15*time.Second, "re-promotion", func() bool {
+		return B.member.State() == StatePrimary && B.member.Stats().Promotions >= 2
+	})
+	if ep := B.member.Epoch(); ep != 6 {
+		t.Fatalf("re-promotion epoch = %d, want 6 (fenced by 5)", ep)
+	}
+}
+
+// TestTokenlessPrimaryAcceptsAnyFollower pins the -replicate-token "empty
+// disables" promise: a primary without a token accepts followers whether or
+// not they present one, with zero auth rejects.
+func TestTokenlessPrimaryAcceptsAnyFollower(t *testing.T) {
+	samples := labeledSamples(t, 61, 8)
+	primEps := encodePlans(t, samples)
+	m, tr := trainedModel(t, primEps, 1)
+	srv := core.NewServer(m, core.NewMemoryPool())
+	tr.Publish(srv)
+	pub := NewPublisher(m, srv.Version(), PublisherConfig{Logf: t.Logf}) // no token
+	srv.SetPublishHook(pub.OnPublish)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go pub.Serve(ln)
+	t.Cleanup(pub.Close)
+
+	for _, token := range []string{"", "sekrit"} {
+		model := core.New(m.Cfg, testEnc)
+		f := NewFollower(FollowerConfig{
+			Addr: ln.Addr().String(), Token: token,
+			Server: core.NewServer(model, core.NewMemoryPool()), Model: model,
+			RetryMin: 5 * time.Millisecond, RetryMax: 25 * time.Millisecond,
+			Logf: t.Logf,
+		})
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			f.Run(ctx)
+		}()
+		waitFor(t, 10*time.Second, "bootstrap (token "+token+")", func() bool {
+			return f.Generation() == srv.Version()
+		})
+		cancel()
+		<-done
+	}
+	if st := pub.Stats(); st.AuthRejects != 0 {
+		t.Fatalf("tokenless primary rejected followers: %+v", st)
+	}
 }
 
 // obsEG is an estimate observation carrying full cluster coordinates.

@@ -59,7 +59,10 @@ type FollowerConfig struct {
 	// Lease is the primary liveness lease: every valid frame from a
 	// current-epoch primary renews it, and when it lapses (no primary
 	// reachable anywhere in Peers for this long) OnLeaseExpired fires.
-	// Zero disables lease tracking.
+	// Dial timeouts, read deadlines and reconnect sleeps are capped by the
+	// remaining lease (see leaseBound), so the lapse is detected within the
+	// lease bound even against a black-holed or wedged peer. Zero disables
+	// lease tracking.
 	Lease time.Duration
 	// OnLeaseExpired is called (from the Run goroutine, between sessions)
 	// when the lease lapses. Returning true stops Run — the callback has
@@ -196,7 +199,7 @@ func (f *Follower) Run(ctx context.Context) {
 	peer := 0
 	for ctx.Err() == nil {
 		addr := f.cfg.Peers[peer%len(f.cfg.Peers)]
-		d := net.Dialer{Timeout: f.cfg.DialTimeout}
+		d := net.Dialer{Timeout: f.leaseBound(f.cfg.DialTimeout)}
 		nc, err := d.DialContext(ctx, "tcp", addr)
 		if err != nil {
 			delay := backoffDelay(attempt, f.cfg.RetryMin, f.cfg.RetryMax, rand.Float64())
@@ -204,7 +207,7 @@ func (f *Follower) Run(ctx context.Context) {
 			if f.checkLease() {
 				return
 			}
-			if !sleepCtx(ctx, delay) {
+			if !sleepCtx(ctx, f.leaseBound(delay)) {
 				return
 			}
 			attempt++
@@ -226,7 +229,7 @@ func (f *Follower) Run(ctx context.Context) {
 			attempt++
 		}
 		peer++
-		if !sleepCtx(ctx, backoffDelay(attempt, f.cfg.RetryMin, f.cfg.RetryMax, rand.Float64())) {
+		if !sleepCtx(ctx, f.leaseBound(backoffDelay(attempt, f.cfg.RetryMin, f.cfg.RetryMax, rand.Float64()))) {
 			return
 		}
 	}
@@ -255,6 +258,42 @@ func (f *Follower) renewLease() {
 		return
 	}
 	f.lastRenew.Store(time.Now().UnixNano())
+}
+
+// leaseBound caps a dial timeout, read deadline or backoff sleep by the
+// remaining primary lease, so a black-holed dial or wedged connection can
+// never push the next lease-lapse check past the lease itself — failover
+// latency tracks the configured lease, not lease + DialTimeout/PeerTimeout.
+// A healthy stream is unaffected: frames keep the remaining lease pinned
+// near its full length. Not lease-tracking members get d unchanged.
+func (f *Follower) leaseBound(d time.Duration) time.Duration {
+	if f.cfg.Lease <= 0 || f.cfg.OnLeaseExpired == nil {
+		return d
+	}
+	rem := f.cfg.Lease - time.Since(time.Unix(0, f.lastRenew.Load()))
+	// Floor keeps an already-lapsed lease from spinning the dial loop hot
+	// while promotion attempts are aborted (fault injection, bind failure).
+	const floor = 5 * time.Millisecond
+	if rem < floor {
+		rem = floor
+	}
+	if rem < d {
+		return rem
+	}
+	return d
+}
+
+// ObserveEpoch raises the follower's highest-seen epoch to at least e. A
+// demoting Member folds the epoch that fenced it back in before rejoining,
+// so stale frames below it stay rejected and a later re-promotion seeds
+// strictly above every epoch already consumed.
+func (f *Follower) ObserveEpoch(e uint64) {
+	for {
+		cur := f.epoch.Load()
+		if e <= cur || f.epoch.CompareAndSwap(cur, e) {
+			return
+		}
+	}
 }
 
 // session runs one connection: hello handshake (schema + auth token), a
@@ -317,7 +356,7 @@ func (f *Follower) session(ctx context.Context, nc net.Conn, addr string) (appli
 			f.cfg.Logf("replica: injected receive fault: %v", err)
 			return applied
 		}
-		nc.SetReadDeadline(time.Now().Add(f.cfg.PeerTimeout))
+		nc.SetReadDeadline(time.Now().Add(f.leaseBound(f.cfg.PeerTimeout)))
 		fm, err := fr.Read()
 		if err == ErrChecksum {
 			// The frame was consumed whole; its bytes are untrusted and are

@@ -2,6 +2,7 @@ package replica
 
 import (
 	"bufio"
+	"crypto/sha256"
 	"crypto/subtle"
 	"encoding/binary"
 	"net"
@@ -35,6 +36,12 @@ const (
 	SiteHeartbeatRecv = "replica.heartbeat.recv"
 )
 
+// DefaultEpoch is the epoch a zero PublisherConfig publishes under — the
+// boot primary's epoch. A promoting Member always seeds its epoch strictly
+// above it (see promoteEpoch), so a member that never heard from any primary
+// cannot collide with a default-configured boot primary.
+const DefaultEpoch = 1
+
 // connQueueDepth bounds the per-follower outbound frame queue. A follower
 // that falls further behind than this stops receiving deltas and is healed
 // with a snapshot at the next publication instead (slow followers must not
@@ -50,8 +57,10 @@ type PublisherConfig struct {
 	// Defaults to 1.
 	Epoch uint64
 	// Token is the pre-shared replication auth token. When non-empty, every
-	// follower hello must carry it (constant-time compare) or the
-	// connection is rejected before any payload is parsed.
+	// follower hello must carry it (constant-time compare of fixed-length
+	// digests) or the connection is rejected before any payload is parsed.
+	// Empty disables the check entirely: a tokenless primary accepts
+	// followers whether or not they present a token.
 	Token string
 	// Heartbeat is the interval between liveness frames on every follower
 	// connection (default 2s).
@@ -72,7 +81,7 @@ type PublisherConfig struct {
 
 func (cfg *PublisherConfig) fill() {
 	if cfg.Epoch == 0 {
-		cfg.Epoch = 1
+		cfg.Epoch = DefaultEpoch
 	}
 	if cfg.Heartbeat <= 0 {
 		cfg.Heartbeat = 2 * time.Second
@@ -210,6 +219,10 @@ func (p *Publisher) Generation() uint64 { return p.genA.Load() }
 
 // Fenced reports whether the publisher has been deposed by a higher epoch.
 func (p *Publisher) Fenced() bool { return p.fenced.Load() }
+
+// FencedBy returns the strictly higher epoch that deposed this publisher,
+// 0 while unfenced.
+func (p *Publisher) FencedBy() uint64 { return p.seenEp.Load() }
 
 // OnPublish is the publish hook: called under the Server's publication lock
 // with training quiesced, it advances the replication generation, syncs the
@@ -388,11 +401,18 @@ func (p *Publisher) handleConn(c *pubConn) {
 		p.logf("replica: rejected connection from %s: bad hello (%v)", c.nc.RemoteAddr(), err)
 		return
 	}
-	if subtle.ConstantTimeCompare(f.Payload[8:], []byte(p.cfg.Token)) != 1 {
-		p.rejectedConns.Add(1)
-		p.authRejects.Add(1)
-		p.logf("replica: rejected connection from %s: bad auth token", c.nc.RemoteAddr())
-		return
+	if p.cfg.Token != "" {
+		// Compare fixed-length digests: constant time for any presented
+		// token (ConstantTimeCompare short-circuits on length mismatch,
+		// which would leak the configured token's length).
+		want := sha256.Sum256([]byte(p.cfg.Token))
+		got := sha256.Sum256(f.Payload[8:])
+		if subtle.ConstantTimeCompare(got[:], want[:]) != 1 {
+			p.rejectedConns.Add(1)
+			p.authRejects.Add(1)
+			p.logf("replica: rejected connection from %s: bad auth token", c.nc.RemoteAddr())
+			return
+		}
 	}
 	if got := binary.LittleEndian.Uint64(f.Payload); got != p.schema {
 		p.rejectedConns.Add(1)
@@ -449,9 +469,15 @@ func (p *Publisher) handleConn(c *pubConn) {
 		case FrameFenced:
 			// An authenticated follower proved a higher epoch exists: we
 			// are deposed. Fence ourselves — stop broadcasting, sever every
-			// follower so they move to the new primary.
-			p.fence(f.Epoch)
-			return
+			// follower so they move to the new primary. Only a strictly
+			// higher epoch is evidence of a successor: an equal, lower or
+			// zero claim must not silence a healthy primary.
+			if f.Epoch > p.cfg.Epoch {
+				p.fence(f.Epoch)
+				return
+			}
+			p.logf("replica: ignoring fence claim at epoch %d from %s (ours is %d)",
+				f.Epoch, c.nc.RemoteAddr(), p.cfg.Epoch)
 		case FrameResync:
 			p.mu.Lock()
 			if _, live := p.conns[c]; live {
