@@ -1,12 +1,13 @@
 # Developer entry points. `make check` is the tier-1 gate: build, vet,
-# gofmt cleanliness, and the full test suite.
+# gofmt cleanliness, the project's own static-analysis suite (costlint),
+# and the full test suite.
 
 GO ?= go
 PKGS := ./...
 BENCH_OUT ?= BENCH_INFERENCE.json
 BENCH_SERVE_OUT ?= BENCH_SERVE.json
 
-.PHONY: all build vet fmt-check test test-fault test-fuzz test-replica check bench bench-json bench-serve clean
+.PHONY: all build vet fmt-check lint static-tools test test-fault test-fuzz test-replica check bench bench-json bench-serve clean
 
 all: check
 
@@ -21,6 +22,18 @@ fmt-check:
 	if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
+
+# The project's static-analysis gate: faultsite, noalloc, canonicaldot and
+# atomichygiene over the whole module (see internal/analysis). Whole-module
+# runs also flag registered-but-never-injected fault sites.
+lint:
+	$(GO) run ./cmd/costlint $(PKGS)
+
+# Third-party analyzers, gated on availability: this container has no
+# network, so staticcheck/govulncheck run only where they are installed
+# (CI installs them; see .github/workflows/ci.yml).
+static-tools:
+	./scripts/static_tools.sh
 
 test:
 	$(GO) test $(PKGS)
@@ -55,7 +68,7 @@ test-fuzz:
 test-replica:
 	$(GO) test -race -count=1 ./internal/replica/
 
-check: build vet fmt-check test
+check: build vet fmt-check lint test
 
 # Hot-path microbenchmarks: the per-plan forward runtime, the batch
 # serving/training runtime (sequential TrainEpoch/TrainEpochBatched and the

@@ -138,7 +138,7 @@ func (sv *supervisor) cycle() (err error) {
 		}
 	}()
 	sv.cycles.Add(1)
-	if err := fault.Point("daemon.retrain"); err != nil {
+	if err := fault.Point(fault.SiteDaemonRetrain); err != nil {
 		return err
 	}
 	loss := sv.trainer.TrainEpochBatched(sv.train, 16, sv.Workers)

@@ -11,6 +11,7 @@ import (
 
 	"costest/internal/dataset"
 	"costest/internal/strembed"
+	"costest/internal/tensor"
 )
 
 func main() {
@@ -75,11 +76,7 @@ func main() {
 	fmt.Println("\nonline pattern lookups (vector L2 norms; 0 = unknown):")
 	for _, p := range patterns {
 		v := emb.Embed(p)
-		var norm float64
-		for _, x := range v {
-			norm += x * x
-		}
-		fmt.Printf("  %-22s |v| = %.3f\n", p, norm)
+		fmt.Printf("  %-22s |v| = %.3f\n", p, tensor.Dot(v, v))
 	}
 
 	// Co-occurrence: notes that appear in similar company contexts embed

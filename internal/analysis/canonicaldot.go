@@ -1,0 +1,314 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CanonicalDot proves the bit-identity contract's structural half: outside
+// internal/tensor, no code may run a raw float64 reduction loop over slice
+// elements. Every order-sensitive accumulation must route through the
+// canonical kernels (tensor.Dot / dotKernel's strictly sequential order,
+// tensor.Sum, tensor.AddVecsInto's fixed left-to-right reduction), because
+// the serving contract — bit-identical estimates across replicas, versions,
+// batch compositions and worker counts — is exactly the statement that one
+// accumulation order exists and everything uses it. A hand-rolled
+// `s += x[i]*y[i]` loop is a second accumulation order waiting to diverge
+// the moment someone unrolls or parallelizes it.
+//
+// Scope, precisely: an augmented assignment `s += expr` (or `s -= expr`,
+// or `s = s + expr`) is flagged when
+//
+//   - s is a float64 scalar declared outside the loop (a cross-iteration
+//     accumulator), and
+//   - expr is "raw": built only of identifiers, field selections, index
+//     expressions, parens, numeric literals and +,-,*,/ — no function
+//     calls, and
+//   - expr reads at least one float64-slice element sequentially: x[i]
+//     with i the loop's own index variable, or the range value of a
+//     []float64 range.
+//
+// Gather loops (x[idx[i]]), reductions through function calls
+// (s += math.Log(v)) and elementwise updates (dst[i] += v) are out of
+// scope: their accumulation order is either not slice-sequential or not a
+// plain sum, and the kernels' contract does not cover them. Loops that can
+// exit early (break, return, goto in the body) are likewise exempt: they
+// are scans or searches, not complete reductions — no kernel can express a
+// data-dependent stopping point, and the exit condition pins the iteration
+// order right there in the code.
+var CanonicalDot = &Analyzer{
+	Name: "canonicaldot",
+	Doc:  "raw float64 reduction loops over slices must live in internal/tensor's canonical kernels",
+	Run:  runCanonicalDot,
+}
+
+func runCanonicalDot(pass *Pass) {
+	if isPkgPath(pass.Pkg.PkgPath, tensorPkgSuffix) {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		var loops []loopCtx
+		var walk func(n ast.Node) bool
+		walk = func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ForStmt:
+				loops = append(loops, forLoopCtx(info, n))
+				ast.Inspect(n.Body, walk)
+				if n.Post != nil {
+					ast.Inspect(n.Post, walk)
+				}
+				loops = loops[:len(loops)-1]
+				return false
+			case *ast.RangeStmt:
+				loops = append(loops, rangeLoopCtx(info, n))
+				ast.Inspect(n.Body, walk)
+				loops = loops[:len(loops)-1]
+				return false
+			case *ast.AssignStmt:
+				if len(loops) > 0 {
+					checkReduction(pass, loops, n)
+				}
+				return true
+			}
+			return true
+		}
+		ast.Inspect(file, walk)
+	}
+}
+
+// loopCtx is one enclosing loop's reduction-relevant variables.
+type loopCtx struct {
+	pos token.Pos
+	// indexVars are objects usable as sequential indices (for-loop counters,
+	// range keys over float64 slices).
+	indexVars map[types.Object]bool
+	// elemVars are range-value objects that are float64 slice elements.
+	elemVars map[types.Object]bool
+	// earlyExit marks loops whose body can stop iteration early — scans, not
+	// complete reductions.
+	earlyExit bool
+}
+
+func forLoopCtx(info *types.Info, n *ast.ForStmt) loopCtx {
+	ctx := loopCtx{pos: n.Pos(), indexVars: map[types.Object]bool{}, elemVars: map[types.Object]bool{}, earlyExit: loopExitsEarly(n.Body)}
+	if init, ok := n.Init.(*ast.AssignStmt); ok {
+		for _, lhs := range init.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				if obj := objectOf(info, id); obj != nil {
+					ctx.indexVars[obj] = true
+				}
+			}
+		}
+	}
+	return ctx
+}
+
+func rangeLoopCtx(info *types.Info, n *ast.RangeStmt) loopCtx {
+	ctx := loopCtx{pos: n.Pos(), indexVars: map[types.Object]bool{}, elemVars: map[types.Object]bool{}, earlyExit: loopExitsEarly(n.Body)}
+	overF64 := false
+	if tv, ok := info.Types[n.X]; ok {
+		overF64 = isFloat64Slice(tv.Type)
+	}
+	if id, ok := n.Key.(*ast.Ident); ok {
+		if obj := objectOf(info, id); obj != nil {
+			ctx.indexVars[obj] = true
+		}
+	}
+	if id, ok := n.Value.(*ast.Ident); ok && overF64 {
+		if obj := objectOf(info, id); obj != nil {
+			ctx.elemVars[obj] = true
+		}
+	}
+	return ctx
+}
+
+// checkReduction flags `s += raw-expr-reading-slice-elements` accumulations.
+func checkReduction(pass *Pass, loops []loopCtx, as *ast.AssignStmt) {
+	var rhs ast.Expr
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN:
+		if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return
+		}
+		rhs = as.Rhs[0]
+	case token.ASSIGN:
+		// s = s + expr
+		if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return
+		}
+		bin, ok := as.Rhs[0].(*ast.BinaryExpr)
+		if !ok || (bin.Op != token.ADD && bin.Op != token.SUB) {
+			return
+		}
+		lid, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return
+		}
+		xid, ok := ast.Unparen(bin.X).(*ast.Ident)
+		if !ok || objectOf(pass.Pkg.Info, xid) != objectOf(pass.Pkg.Info, lid) {
+			return
+		}
+		rhs = bin.Y
+	default:
+		return
+	}
+	acc, ok := as.Lhs[0].(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := objectOf(pass.Pkg.Info, acc)
+	if obj == nil || !isFloat64(obj.Type()) {
+		return
+	}
+	innermost := loops[len(loops)-1]
+	if obj.Pos() >= innermost.pos {
+		return // declared inside the loop: not a cross-iteration accumulator
+	}
+	for _, l := range loops {
+		if l.earlyExit {
+			return // a scan/search, not a complete reduction
+		}
+	}
+	if !isRawExpr(pass.Pkg.Info, rhs) {
+		return
+	}
+	if !readsSequentialElement(pass.Pkg.Info, loops, rhs) {
+		return
+	}
+	pass.Reportf(as.Pos(), "raw float64 reduction over slice elements outside internal/tensor: accumulation order is part of the bit-identity contract — use tensor.Dot, tensor.Sum or tensor.AddVecsInto")
+}
+
+// loopExitsEarly reports whether body can leave its loop before all
+// iterations complete: a return, a goto, a labeled branch, or an unlabeled
+// break at the loop's own level (breaks belonging to nested loops, switches
+// and selects target those constructs instead). Function literals are
+// opaque — their returns do not exit the loop.
+func loopExitsEarly(body *ast.BlockStmt) bool {
+	exits := false
+	depth := 0 // nesting inside constructs that capture unlabeled break
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if capturesBreak(top) {
+				depth--
+			}
+			return true
+		}
+		if exits {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		stack = append(stack, n)
+		if capturesBreak(n) {
+			depth++
+		}
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			exits = true
+		case *ast.BranchStmt:
+			switch {
+			case n.Tok == token.GOTO, n.Label != nil:
+				exits = true
+			case n.Tok == token.BREAK && depth == 0:
+				exits = true
+			}
+		}
+		return true
+	})
+	return exits
+}
+
+func capturesBreak(n ast.Node) bool {
+	switch n.(type) {
+	case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return true
+	}
+	return false
+}
+
+// isRawExpr reports whether e is built purely of identifiers, selections,
+// index expressions, literals, parens and +,-,*,/ arithmetic.
+func isRawExpr(info *types.Info, e ast.Expr) bool {
+	raw := true
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case nil, *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.ParenExpr, *ast.BasicLit:
+			return true
+		case *ast.UnaryExpr:
+			if n.Op == token.SUB || n.Op == token.ADD {
+				return true
+			}
+		case *ast.BinaryExpr:
+			switch n.Op {
+			case token.ADD, token.SUB, token.MUL, token.QUO:
+				return true
+			}
+		}
+		raw = false
+		return false
+	})
+	return raw
+}
+
+// readsSequentialElement reports whether e reads a float64-slice element
+// indexed by one of the enclosing loops' own variables (or a range value of
+// a []float64 range).
+func readsSequentialElement(info *types.Info, loops []loopCtx, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.Ident:
+			if obj := objectOf(info, n); obj != nil {
+				for _, l := range loops {
+					if l.elemVars[obj] {
+						found = true
+					}
+				}
+			}
+		case *ast.IndexExpr:
+			tv, ok := info.Types[n.X]
+			if !ok || !isFloat64Slice(tv.Type) {
+				return true
+			}
+			id, ok := ast.Unparen(n.Index).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if obj := objectOf(info, id); obj != nil {
+				for _, l := range loops {
+					if l.indexVars[obj] {
+						found = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func objectOf(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+func isFloat64(t types.Type) bool {
+	b, ok := types.Unalias(t).Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Float64
+}
+
+func isFloat64Slice(t types.Type) bool {
+	s, ok := types.Unalias(t).Underlying().(*types.Slice)
+	return ok && isFloat64(s.Elem())
+}

@@ -1,0 +1,244 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// FaultSite proves the fault-injection registry invariant: every site name
+// that production code hands to fault.Point, fault.Calls or a fault.Rule
+// literal is a Site* constant declared in internal/fault/sites.go, and
+// (whole-program, enabled for full-module runs) every registered constant is
+// consulted by at least one fault.Point. A bare string literal — even one
+// whose value happens to match a registered site — is rejected: provenance
+// through the registry constant is what lets a rename refactor find every
+// consumer, and what makes an unregistered name a compile-gate failure
+// instead of a chaos rule that silently never fires.
+//
+// ParseSpec calls whose spec argument is a compile-time constant get the
+// same validation per rule; non-constant specs (the -faults CLI flag) are
+// runtime input and are validated by ParseSpec itself.
+//
+// The fault package itself is exempt: it is the trusted base that constructs
+// rules from runtime strings by design.
+var FaultSite = &Analyzer{
+	Name: "faultsite",
+	Doc:  "fault-injection site names must come from the internal/fault registry",
+	Run:  runFaultSite,
+	Finish: func(prog *Program) []Diagnostic {
+		if !prog.CheckUnusedSites {
+			return nil
+		}
+		return finishFaultSite(prog)
+	},
+}
+
+func runFaultSite(pass *Pass) {
+	if isPkgPath(pass.Pkg.PkgPath, faultPkgSuffix) {
+		return
+	}
+	faultPkg := importedPackage(pass.Pkg, faultPkgSuffix)
+	if faultPkg == nil {
+		return
+	}
+	registry := faultRegistry(faultPkg)
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				switch calleeName(info, n, faultPkg) {
+				case "Point", "Calls":
+					if len(n.Args) == 1 {
+						checkSiteExpr(pass, registry, n.Args[0], calleeName(info, n, faultPkg) == "Point")
+					}
+				case "ParseSpec":
+					if len(n.Args) >= 1 {
+						checkSpecConst(pass, registry, n.Args[0])
+					}
+				}
+			case *ast.CompositeLit:
+				if tv, ok := info.Types[n]; ok && isFaultRule(tv.Type, faultPkg) {
+					if site := ruleSiteExpr(n); site != nil {
+						checkSiteExpr(pass, registry, site, false)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// faultRegistry maps registered site values to their constant names, read
+// from the fault package's exported Site* constants.
+func faultRegistry(faultPkg *types.Package) map[string]string {
+	reg := make(map[string]string)
+	scope := faultPkg.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !strings.HasPrefix(name, "Site") || c.Val().Kind() != constant.String {
+			continue
+		}
+		reg[constant.StringVal(c.Val())] = name
+	}
+	return reg
+}
+
+// checkSiteExpr validates one expression expected to name a fault site.
+// isPoint marks arguments of fault.Point, whose registry constants feed the
+// whole-program unused-site evidence.
+func checkSiteExpr(pass *Pass, registry map[string]string, e ast.Expr, isPoint bool) {
+	e = ast.Unparen(e)
+	if obj := constObjectOf(pass.Pkg.Info, e); obj != nil {
+		if obj.Pkg() != nil && isPkgPath(obj.Pkg().Path(), faultPkgSuffix) && strings.HasPrefix(obj.Name(), "Site") {
+			if isPoint {
+				pass.Prog.markFaultPointUse(constant.StringVal(obj.Val()))
+			}
+			return // a registry constant — the only accepted form
+		}
+	}
+	tv, ok := pass.Pkg.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		pass.Reportf(e.Pos(), "fault site must be a Site* constant from the internal/fault registry (internal/fault/sites.go), not a computed value")
+		return
+	}
+	val := constant.StringVal(tv.Value)
+	if name, known := registry[val]; known {
+		pass.Reportf(e.Pos(), "fault site %q must be referenced via its registry constant fault.%s, not an ad-hoc literal or constant", val, name)
+	} else {
+		pass.Reportf(e.Pos(), "unknown fault site %q: not registered in internal/fault/sites.go", val)
+	}
+}
+
+// checkSpecConst validates the sites inside a compile-time-constant
+// ParseSpec specification ("site:kind[:k=v...];...").
+func checkSpecConst(pass *Pass, registry map[string]string, e ast.Expr) {
+	tv, ok := pass.Pkg.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return // runtime spec (CLI flag): ParseSpec validates shape, chaos tests own the content
+	}
+	spec := constant.StringVal(tv.Value)
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		site, _, _ := strings.Cut(part, ":")
+		if site == "" {
+			continue // malformed; ParseSpec reports it at runtime
+		}
+		if _, known := registry[site]; !known {
+			pass.Reportf(e.Pos(), "unknown fault site %q in constant spec: not registered in internal/fault/sites.go", site)
+		}
+	}
+}
+
+// finishFaultSite reports registered sites never consulted by fault.Point in
+// any analyzed package — a dead chaos hook, or a registry entry that
+// outlived its code.
+func finishFaultSite(prog *Program) []Diagnostic {
+	var faultPkg *Package
+	for _, pkg := range prog.Packages {
+		if isPkgPath(pkg.PkgPath, faultPkgSuffix) {
+			faultPkg = pkg
+			break
+		}
+	}
+	if faultPkg == nil {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, file := range faultPkg.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					c, ok := faultPkg.Info.Defs[name].(*types.Const)
+					if !ok || !strings.HasPrefix(name.Name, "Site") || c.Val().Kind() != constant.String {
+						continue
+					}
+					if val := constant.StringVal(c.Val()); !prog.faultPointUses[val] {
+						diags = append(diags, Diagnostic{
+							Pos:      name.Pos(),
+							Position: prog.Fset.Position(name.Pos()),
+							Analyzer: "faultsite",
+							Message:  "fault site " + name.Name + " (" + val + ") is registered but never consulted by fault.Point in production code",
+						})
+					}
+				}
+			}
+		}
+	}
+	return diags
+}
+
+// calleeName returns the name of the called function when it is a
+// package-level function of pkg, else "".
+func calleeName(info *types.Info, call *ast.CallExpr, pkg *types.Package) string {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.Ident:
+		id = fun
+	default:
+		return ""
+	}
+	if fn, ok := info.Uses[id].(*types.Func); ok && fn.Pkg() == pkg {
+		return fn.Name()
+	}
+	return ""
+}
+
+// constObjectOf returns the constant object e resolves to, when e is a
+// (possibly package-qualified) identifier naming a constant.
+func constObjectOf(info *types.Info, e ast.Expr) *types.Const {
+	var id *ast.Ident
+	switch e := e.(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	c, _ := info.Uses[id].(*types.Const)
+	return c
+}
+
+// isFaultRule reports whether t is the fault package's Rule struct.
+func isFaultRule(t types.Type, faultPkg *types.Package) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Rule" && obj.Pkg() == faultPkg
+}
+
+// ruleSiteExpr extracts the Site field expression from a fault.Rule
+// composite literal (keyed or positional).
+func ruleSiteExpr(lit *ast.CompositeLit) ast.Expr {
+	for i, elt := range lit.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			if id, ok := kv.Key.(*ast.Ident); ok && id.Name == "Site" {
+				return kv.Value
+			}
+			continue
+		}
+		if i == 0 {
+			return elt // positional literal: Site is the first field
+		}
+	}
+	return nil
+}

@@ -1,0 +1,392 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// NoAlloc proves the zero-allocation contract statically: a function whose
+// doc comment carries the marker `// costlint:noalloc` must contain no
+// allocating construct in its body. The AllocsPerRun tests prove the warm
+// path empirically, but only along the inputs they exercise; this analyzer
+// is their static complement — a new `make`, closure, boxing call or string
+// concat anywhere in an annotated function fails the build gate before a
+// benchmark ever runs.
+//
+// Flagged constructs: make / new, slice and map composite literals,
+// address-of composite literals (&T{...} escapes), non-self append (append
+// whose result lands in a different slice — guaranteed fresh backing), func
+// literals (closure allocation), `go` statements, non-constant string
+// concatenation, string<->[]byte/[]rune conversions, implicit boxing of
+// non-pointer values into interface parameters, and calls into
+// known-allocating stdlib helpers (fmt, errors, strings/strconv/sort
+// formatters).
+//
+// Deliberate carve-outs, each matching a proven steady-state idiom:
+//
+//   - self-append `x = append(x, ...)` — amortized high-water growth into a
+//     caller-retained buffer; AllocsPerRun proves it settles to zero;
+//   - arguments of panic(...) — shape-violation panics are fatal paths;
+//   - return statements whose final result is a non-nil error — failure
+//     paths may construct errors (fmt.Errorf and friends); the contract
+//     covers the success path, exactly like the AllocsPerRun harnesses;
+//   - pointer-shaped values (pointers, maps, chans, funcs) passed to
+//     interface parameters — the interface data word holds them unboxed.
+//
+// The check is body-local by design: callees carry their own annotation (or
+// their own AllocsPerRun coverage), so annotating a function is a statement
+// about its own lines, reviewable in isolation.
+var NoAlloc = &Analyzer{
+	Name: "noalloc",
+	Doc:  "functions annotated // costlint:noalloc must not contain allocating constructs",
+	Run:  runNoAlloc,
+}
+
+// NoAllocMarker is the annotation, written on its own doc-comment line.
+const NoAllocMarker = "costlint:noalloc"
+
+func runNoAlloc(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasMarker(fd.Doc, NoAllocMarker) {
+				continue
+			}
+			checkNoAllocBody(pass, fd)
+		}
+	}
+}
+
+// hasMarker reports whether doc contains a comment line that is exactly the
+// marker (after stripping the comment prefix).
+func hasMarker(doc *ast.CommentGroup, marker string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if text == marker {
+			return true
+		}
+	}
+	return false
+}
+
+// noAllocWalker carries the per-function state of the body check.
+type noAllocWalker struct {
+	pass *Pass
+	info *types.Info
+	// appendParents maps append calls to the single-assignment statement
+	// they are the sole right-hand side of, for the self-append test.
+	appendParents map[*ast.CallExpr]*ast.AssignStmt
+}
+
+func checkNoAllocBody(pass *Pass, fd *ast.FuncDecl) {
+	w := &noAllocWalker{pass: pass, info: pass.Pkg.Info, appendParents: make(map[*ast.CallExpr]*ast.AssignStmt)}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignStmt); ok && len(as.Lhs) == 1 && len(as.Rhs) == 1 {
+			if call, ok := as.Rhs[0].(*ast.CallExpr); ok {
+				w.appendParents[call] = as
+			}
+		}
+		return true
+	})
+	sig, _ := pass.Pkg.Info.Defs[fd.Name].(*types.Func)
+	errResult := sig != nil && lastResultIsError(sig.Type().(*types.Signature))
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			// Failure-path carve-out: a return delivering a non-nil error is
+			// cold by contract; its error construction may allocate.
+			if errResult && len(n.Results) > 0 {
+				if last := n.Results[len(n.Results)-1]; !isNilIdent(last) {
+					return false
+				}
+			}
+			return true
+		case *ast.CallExpr:
+			if isPanicCall(w.info, n) {
+				return false // fatal path: panic argument construction exempt
+			}
+			w.checkCall(n)
+			return true
+		case *ast.CompositeLit:
+			w.checkCompositeLit(n, false)
+			return true
+		case *ast.UnaryExpr:
+			if lit, ok := n.X.(*ast.CompositeLit); ok && n.Op.String() == "&" {
+				w.checkCompositeLit(lit, true)
+				ast.Inspect(lit, func(inner ast.Node) bool {
+					if inner == lit {
+						return true
+					}
+					return walk(inner)
+				})
+				return false
+			}
+			return true
+		case *ast.FuncLit:
+			w.pass.Reportf(n.Pos(), "function literal in noalloc function: closures allocate")
+			return false
+		case *ast.GoStmt:
+			w.pass.Reportf(n.Pos(), "go statement in noalloc function: spawning a goroutine allocates")
+			return true
+		case *ast.BinaryExpr:
+			w.checkStringConcat(n)
+			return true
+		}
+		return true
+	}
+	ast.Inspect(fd.Body, walk)
+}
+
+// checkCall flags allocating calls: make/new, non-self append, conversions
+// between string and byte/rune slices, deny-listed stdlib helpers, and
+// implicit interface boxing of non-pointer arguments.
+func (w *noAllocWalker) checkCall(call *ast.CallExpr) {
+	info := w.info
+	// Type conversions: string <-> []byte / []rune allocate.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		to := types.Unalias(tv.Type).Underlying()
+		if from, ok := info.Types[call.Args[0]]; ok {
+			if isStringByteConv(to, from.Type.Underlying()) {
+				w.pass.Reportf(call.Pos(), "string conversion allocates in noalloc function")
+			}
+		}
+		return
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				w.pass.Reportf(call.Pos(), "make allocates in noalloc function")
+			case "new":
+				w.pass.Reportf(call.Pos(), "new allocates in noalloc function")
+			case "append":
+				if !w.isSelfAppend(call) {
+					w.pass.Reportf(call.Pos(), "append into a different slice allocates in noalloc function (self-append `x = append(x, ...)` is the amortized-growth idiom)")
+				}
+			}
+			return
+		}
+	}
+	if path, name := calleePkgFunc(info, call); path != "" {
+		if allocDenied(path, name) {
+			w.pass.Reportf(call.Pos(), "%s.%s allocates in noalloc function", pkgBase(path), name)
+			return
+		}
+	}
+	w.checkBoxing(call)
+}
+
+// isSelfAppend reports whether call is `append(x, ...)` whose result is
+// assigned back to x in the enclosing statement. The walker only needs a
+// syntactic answer: the assignment parent is found by re-walking the match
+// candidates recorded during checkNoAllocBody would be heavy, so instead the
+// check accepts the common shapes x = append(x, ...) and x := append(x, ...)
+// by scanning the append's first argument against the assignment it sits in.
+func (w *noAllocWalker) isSelfAppend(call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	parent := w.appendParents[call]
+	if parent == nil {
+		return false
+	}
+	if len(parent.Lhs) != 1 || len(parent.Rhs) != 1 || parent.Rhs[0] != call {
+		return false
+	}
+	return types.ExprString(parent.Lhs[0]) == types.ExprString(call.Args[0])
+}
+
+// isStringByteConv reports a conversion between string and []byte/[]rune.
+func isStringByteConv(to, from types.Type) bool {
+	return (isString(to) && isByteOrRuneSlice(from)) || (isByteOrRuneSlice(to) && isString(from))
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune)
+}
+
+// checkCompositeLit flags slice/map literals and address-of literals.
+func (w *noAllocWalker) checkCompositeLit(lit *ast.CompositeLit, addressed bool) {
+	tv, ok := w.info.Types[lit]
+	if !ok {
+		return
+	}
+	switch types.Unalias(tv.Type).Underlying().(type) {
+	case *types.Slice:
+		w.pass.Reportf(lit.Pos(), "slice literal allocates in noalloc function")
+	case *types.Map:
+		w.pass.Reportf(lit.Pos(), "map literal allocates in noalloc function")
+	default:
+		if addressed {
+			w.pass.Reportf(lit.Pos(), "address-of composite literal escapes to the heap in noalloc function")
+		}
+	}
+}
+
+// checkStringConcat flags non-constant string concatenation.
+func (w *noAllocWalker) checkStringConcat(e *ast.BinaryExpr) {
+	if e.Op.String() != "+" {
+		return
+	}
+	tv, ok := w.info.Types[e]
+	if !ok || tv.Value != nil { // constant-folded concat is free
+		return
+	}
+	if isString(tv.Type.Underlying()) {
+		w.pass.Reportf(e.Pos(), "string concatenation allocates in noalloc function")
+	}
+}
+
+// checkBoxing flags arguments implicitly converted to interface parameters
+// when the concrete value is not pointer-shaped (so the conversion heap-boxes
+// it). Pointer-shaped values live directly in the interface data word.
+func (w *noAllocWalker) checkBoxing(call *ast.CallExpr) {
+	tv, ok := w.info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := types.Unalias(tv.Type).Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // forwarding a slice, not boxing elements
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt.Underlying()) {
+			continue
+		}
+		at, ok := w.info.Types[arg]
+		if !ok || at.Type == nil {
+			continue
+		}
+		argT := types.Default(at.Type)
+		if types.IsInterface(argT.Underlying()) || isUntypedNil(at.Type) || pointerShaped(argT) {
+			continue
+		}
+		w.pass.Reportf(arg.Pos(), "passing %s to interface parameter boxes it on the heap in noalloc function", argT.String())
+	}
+}
+
+func isUntypedNil(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}
+
+// pointerShaped reports whether values of t fit the interface data word
+// without boxing.
+func pointerShaped(t types.Type) bool {
+	switch types.Unalias(t).Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Chan, *types.Signature:
+		return true
+	case *types.Basic:
+		b := types.Unalias(t).Underlying().(*types.Basic)
+		return b.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+func isPanicCall(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "panic"
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// lastResultIsError reports whether the signature's final result is error.
+func lastResultIsError(sig *types.Signature) bool {
+	res := sig.Results()
+	if res.Len() == 0 {
+		return false
+	}
+	named, ok := types.Unalias(res.At(res.Len() - 1).Type()).(*types.Named)
+	return ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+}
+
+// calleePkgFunc resolves a call to (package path, function name) for
+// package-level functions; "" otherwise.
+func calleePkgFunc(info *types.Info, call *ast.CallExpr) (string, string) {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.Ident:
+		id = fun
+	default:
+		return "", ""
+	}
+	fn, ok := info.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return "", ""
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return "", "" // methods are not in the deny-list
+	}
+	return fn.Pkg().Path(), fn.Name()
+}
+
+func pkgBase(path string) string {
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// allocDenied lists stdlib helpers that always allocate their result.
+func allocDenied(path, name string) bool {
+	switch path {
+	case "fmt":
+		return true
+	case "errors":
+		return name == "New" || name == "Join"
+	case "strings":
+		switch name {
+		case "Join", "Repeat", "Replace", "ReplaceAll", "Split", "SplitN",
+			"Fields", "ToUpper", "ToLower", "Title", "Map", "Clone", "Concat":
+			return true
+		}
+	case "strconv":
+		switch name {
+		case "Itoa", "Quote", "FormatFloat", "FormatInt", "FormatUint", "FormatBool", "FormatComplex":
+			return true
+		}
+	case "sort":
+		switch name {
+		case "Slice", "SliceStable", "Sort", "Stable", "Strings", "Ints", "Float64s":
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,40 @@
+// Package fixture exercises the atomichygiene analyzer: an old-style
+// sync/atomic access anywhere pins the field program-wide, so every plain
+// access elsewhere is a diagnosed data race. Typed atomics stay silent.
+package fixture
+
+import "sync/atomic"
+
+type counter struct {
+	n     uint64        // accessed via atomic.AddUint64: plain access is a race
+	typed atomic.Uint64 // typed atomic: plain access cannot compile, never flagged
+	cold  uint64        // never touched atomically: plain access is fine
+}
+
+func (c *counter) inc() {
+	atomic.AddUint64(&c.n, 1) // the atomic evidence that pins c.n
+	c.typed.Add(1)
+}
+
+func (c *counter) read() uint64 {
+	return c.n // want `plain access to counter\.n, which is accessed atomically at`
+}
+
+func (c *counter) reset() {
+	c.n = 0 // want `plain access to counter\.n`
+	c.cold = 0
+}
+
+func (c *counter) typedRead() uint64 {
+	return c.typed.Load() + c.cold
+}
+
+var pkgFlag uint32
+
+func raiseFlag() {
+	atomic.StoreUint32(&pkgFlag, 1)
+}
+
+func readFlag() bool {
+	return pkgFlag == 1 // want `plain access to pkgFlag`
+}

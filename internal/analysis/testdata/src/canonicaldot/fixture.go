@@ -1,0 +1,108 @@
+// Package fixture exercises the canonicaldot analyzer: raw sequential
+// float64 reductions that must route through the tensor kernels, alongside
+// every out-of-scope shape that must stay silent.
+package fixture
+
+import "math"
+
+func dotIndexed(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i] // want `raw float64 reduction over slice elements outside internal/tensor`
+	}
+	return s
+}
+
+func sumRange(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x // want `raw float64 reduction over slice elements outside internal/tensor`
+	}
+	return s
+}
+
+func assignForm(xs []float64) float64 {
+	s := 0.0
+	for i := 0; i < len(xs); i++ {
+		s = s + xs[i] // want `raw float64 reduction over slice elements outside internal/tensor`
+	}
+	return s
+}
+
+func subtractForm(xs []float64) float64 {
+	var s float64
+	for i := 0; i < len(xs); i++ {
+		s -= xs[i] // want `raw float64 reduction over slice elements outside internal/tensor`
+	}
+	return s
+}
+
+func nested(rows [][]float64) float64 {
+	var s float64
+	for _, row := range rows {
+		for j := range row {
+			s += row[j] // want `raw float64 reduction over slice elements outside internal/tensor`
+		}
+	}
+	return s
+}
+
+// callTransformed is exempt: the RHS routes through a function, so the
+// accumulation is not a plain ordered sum the kernels cover.
+func callTransformed(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += math.Log(x)
+	}
+	return s
+}
+
+// gather is exempt: x[idx[i]] is not a sequential read of the slice.
+func gather(xs []float64, idx []int) float64 {
+	var s float64
+	for i := range idx {
+		s += xs[idx[i]]
+	}
+	return s
+}
+
+// elementwise is exempt: dst[i] += v is an update, not a scalar reduction.
+func elementwise(dst, src []float64) {
+	for i, v := range src {
+		dst[i] += v
+	}
+}
+
+// cdfScan is exempt: the loop can exit early, so it is a search with a
+// locally pinned order, not a complete reduction a kernel could replace.
+func cdfScan(weights []float64, u float64) int {
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		if u < acc {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// perIteration is exempt: the accumulator is declared inside the loop body,
+// so nothing accumulates across iterations.
+func perIteration(xs []float64) float64 {
+	var last float64
+	for i := range xs {
+		v := 0.0
+		v += xs[i]
+		last = v
+	}
+	return last
+}
+
+// intSum is exempt: only float64 accumulation orders are contractual.
+func intSum(xs []int) int {
+	var s int
+	for i := range xs {
+		s += xs[i]
+	}
+	return s
+}

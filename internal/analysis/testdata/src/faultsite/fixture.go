@@ -1,0 +1,34 @@
+// Package fixture exercises the faultsite analyzer: every rejected way of
+// naming a fault-injection site, next to every accepted registry form.
+package fixture
+
+import (
+	"costest/internal/fault"
+)
+
+// localSite duplicates a registered value outside the registry — provenance
+// through internal/fault/sites.go is what the analyzer demands, not value
+// equality.
+const localSite = "serve.batch"
+
+func bad() {
+	fault.Point("serve.batch")                            // want `fault site "serve\.batch" must be referenced via its registry constant fault\.SiteServeBatch`
+	fault.Point("no.such.site")                           // want `unknown fault site "no\.such\.site"`
+	fault.Point(localSite)                                // want `must be referenced via its registry constant fault\.SiteServeBatch`
+	_ = fault.Calls("daemon.retrain")                     // want `must be referenced via its registry constant fault\.SiteDaemonRetrain`
+	_ = fault.Rule{Site: "replica.send"}                  // want `must be referenced via its registry constant fault\.SiteReplicaSend`
+	_ = fault.Rule{"checkpoint.sync", 0, 0, 0, 0, nil, 0} // want `must be referenced via its registry constant fault\.SiteCheckpointSync`
+	_, _ = fault.ParseSpec("bogus.site:error:count=1", 1) // want `unknown fault site "bogus\.site" in constant spec`
+}
+
+func computed(name string) {
+	fault.Point(name) // want `must be a Site\* constant from the internal/fault registry`
+}
+
+func good() {
+	fault.Point(fault.SiteServeBatch)
+	_ = fault.Calls(fault.SiteDaemonRetrain)
+	_ = fault.Rule{Site: fault.SiteCheckpointWrite}
+	_, _ = fault.ParseSpec(fault.SiteServeBatch+":error:count=1", 1)
+	_, _ = fault.ParseSpec(fault.SiteCheckpointSync+":crash:count=1;"+fault.SiteReplicaRecv+":error:p=0.5", 7)
+}

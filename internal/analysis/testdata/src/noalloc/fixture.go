@@ -1,0 +1,89 @@
+// Package fixture exercises the noalloc analyzer: one function per
+// allocating construct, plus the carved-out steady-state idioms that must
+// stay silent.
+package fixture
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// makes allocates in every flagged way.
+//
+// costlint:noalloc
+func makes(n int) {
+	_ = make([]int, n)   // want `make allocates`
+	_ = new(int)         // want `new allocates`
+	_ = []int{1, 2}      // want `slice literal allocates`
+	_ = map[string]int{} // want `map literal allocates`
+	_ = &point{x: 1}     // want `address-of composite literal escapes`
+	f := func() {}       // want `function literal in noalloc function: closures allocate`
+	f()
+	go work() // want `go statement in noalloc function`
+}
+
+type point struct{ x, y int }
+
+func work() {}
+
+// appends: only self-append is the sanctioned growth idiom.
+//
+// costlint:noalloc
+func appends(dst, src []int) []int {
+	dst = append(dst, 1) // self-append: amortized high-water growth, exempt
+	dst = append(src, 2) // want `append into a different slice allocates`
+	return dst
+}
+
+// strings allocate through concat, conversion and deny-listed helpers.
+//
+// costlint:noalloc
+func stringwork(a, b string, bs []byte) int {
+	_ = a + b           // want `string concatenation allocates`
+	_ = a + "suffix"    // want `string concatenation allocates`
+	const c = "x" + "y" // constant-folded: free
+	_ = c
+	_ = []byte(a)            // want `string conversion allocates`
+	_ = string(bs)           // want `string conversion allocates`
+	_ = fmt.Sprintf("%s", a) // want `fmt\.Sprintf allocates`
+	sort.Strings(nil)        // want `sort\.Strings allocates`
+	return len(a)
+}
+
+// boxing: non-pointer-shaped values crossing into interface parameters.
+//
+// costlint:noalloc
+func boxing(n int, p *point, m map[string]int) {
+	sink(n)        // want `passing int to interface parameter boxes it`
+	sink(p)        // pointer-shaped: lives in the interface word, exempt
+	sink(m)        // pointer-shaped, exempt
+	sink(nil)      // nil interface, exempt
+	variadic(n, n) // want `passing int to interface parameter boxes it` `passing int to interface parameter boxes it`
+}
+
+func sink(v any)         {}
+func variadic(vs ...any) {}
+
+// coldPaths: panic arguments and error-delivering returns are carved out —
+// the contract covers the success path, exactly like AllocsPerRun harnesses.
+//
+// costlint:noalloc
+func coldPaths(n int) (int, error) {
+	if n < 0 {
+		panic(fmt.Sprintf("negative: %d", n)) // fatal path: exempt
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("zero input %d", n) // failure path: exempt
+	}
+	if n == 1 {
+		return 0, errors.New("one") // failure path: exempt
+	}
+	return n, nil
+}
+
+// unannotated allocates freely: the analyzer only audits marked functions.
+func unannotated(n int) []int {
+	s := make([]int, n)
+	return append(s, len(fmt.Sprint(n)))
+}

@@ -160,11 +160,7 @@ func (s *BatchSession) headBackOne(h, o *nn.Linear, H, dR *tensor.Mat) {
 	total := H.Rows
 	dPreM := tensor.Mat{Rows: total, Cols: 1, Data: s.dPre[:total]}
 	tensor.MatMulTransAInto(o.W.GradMat(), &dPreM, H)
-	var bSum float64
-	for _, v := range s.dPre[:total] {
-		bSum += v
-	}
-	o.B.GradVec()[0] += bSum
+	o.B.GradVec()[0] += tensor.Sum(s.dPre[:total])
 
 	s.bwdH, s.bwdWo = H, o.W.Mat().Data
 	s.parRun(total, s.fnHeadBack)

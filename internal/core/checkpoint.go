@@ -38,7 +38,7 @@ import (
 func SaveCheckpoint(path string, m *Model) error {
 	tmp := path + ".tmp"
 	_ = os.Remove(tmp) // stale leftover from a writer killed mid-checkpoint
-	if err := fault.Point("checkpoint.write"); err != nil {
+	if err := fault.Point(fault.SiteCheckpointWrite); err != nil {
 		return fmt.Errorf("core: checkpoint %s: %w", path, err)
 	}
 	f, err := os.Create(tmp)
@@ -50,7 +50,7 @@ func SaveCheckpoint(path string, m *Model) error {
 		os.Remove(tmp)
 		return fmt.Errorf("core: checkpoint %s: %w", path, err)
 	}
-	syncErr := fault.Point("checkpoint.sync")
+	syncErr := fault.Point(fault.SiteCheckpointSync)
 	if syncErr == nil {
 		syncErr = f.Sync()
 	}
@@ -65,7 +65,7 @@ func SaveCheckpoint(path string, m *Model) error {
 	}
 	// The temp file is durable; make it current. A Crash injected here (or a
 	// real kill) leaves path intact — the cold-start still loads last-good.
-	if err := fault.Point("checkpoint.rename"); err != nil {
+	if err := fault.Point(fault.SiteCheckpointRename); err != nil {
 		os.Remove(tmp)
 		return fmt.Errorf("core: checkpoint %s: %w", path, err)
 	}
@@ -118,7 +118,7 @@ func loadCheckpointFile(p string, enc *feature.Encoder) (*Model, error) {
 		return nil, err
 	}
 	defer f.Close()
-	if err := fault.Point("checkpoint.read"); err != nil {
+	if err := fault.Point(fault.SiteCheckpointRead); err != nil {
 		return nil, err
 	}
 	return LoadModel(f, enc)

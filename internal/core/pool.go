@@ -128,6 +128,8 @@ func (p *MemoryPool) SetGeneration(gen uint64) {
 // Get returns the stored representation for a sub-plan signature at the
 // pool's current generation, marking the entry referenced for the
 // second-chance eviction sweep.
+//
+// costlint:noalloc
 func (p *MemoryPool) Get(sig string) (g, r []float64, ok bool) {
 	return p.GetGen(sig, p.gen.Load())
 }
@@ -137,6 +139,8 @@ func (p *MemoryPool) Get(sig string) (g, r []float64, ok bool) {
 // request serving snapshot N can never consume weights-dependent state from
 // snapshot N±1, even while a publish is in flight. An entry found under a
 // generation older than the pool's current one is lazily evicted.
+//
+// costlint:noalloc
 func (p *MemoryPool) GetGen(sig string, gen uint64) (g, r []float64, ok bool) {
 	s := p.shardFor(sig)
 	s.mu.RLock()

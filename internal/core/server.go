@@ -455,6 +455,8 @@ func (srv *Server) prewarmReplay(wantVersion uint64) int {
 // server's pool, returning denormalized cost/cardinality estimates and the
 // snapshot version that produced them. The estimate is bit-identical to a
 // single-threaded evaluation of that version's weights.
+//
+// costlint:noalloc
 func (srv *Server) Estimate(ep *feature.EncodedPlan) (cost, card float64, version uint64) {
 	snap := srv.acquire()
 	s := srv.session(snap)
@@ -500,6 +502,8 @@ func (srv *Server) EstimateBatchOn(snap *ModelSnapshot, eps []*feature.EncodedPl
 // filled. The warm path performs zero heap allocations — the micro-batching
 // scheduler's dispatcher reuses one result buffer across batches, which is
 // what keeps Submit→served round trips allocation-free in steady state.
+//
+// costlint:noalloc
 func (srv *Server) EstimateBatchInto(snap *ModelSnapshot, eps []*feature.EncodedPlan, out []Estimate, workers int) []Estimate {
 	if len(eps) == 0 {
 		return out[:0]

@@ -124,6 +124,8 @@ func (s *InferenceSession) takePreds(n int) []*predState {
 // estimates: the cost at the root, and the cardinality at the topmost
 // non-aggregate node (aggregates always emit one row, so the query's
 // cardinality is defined below them).
+//
+// costlint:noalloc
 func (s *InferenceSession) Estimate(ep *feature.EncodedPlan) (cost, card float64) {
 	return s.EstimateWithPool(ep, nil)
 }
@@ -131,6 +133,8 @@ func (s *InferenceSession) Estimate(ep *feature.EncodedPlan) (cost, card float64
 // EstimateWithPool is Estimate with a representation memory pool: sub-plans
 // already in the pool reuse their stored representations, and new sub-plan
 // representations are inserted (the paper's online workflow, Section 3).
+//
+// costlint:noalloc
 func (s *InferenceSession) EstimateWithPool(ep *feature.EncodedPlan, pool *MemoryPool) (cost, card float64) {
 	m := s.m
 	s.begin(ep)

@@ -210,6 +210,8 @@ func Enabled() bool { return active.Load() != nil }
 // it returns an injected error, sleeps, panics, or crashes when an installed
 // rule fires, and is a single atomic load returning nil when no injector is
 // installed (the production default).
+//
+// costlint:noalloc
 func Point(name string) error {
 	inj := active.Load()
 	if inj == nil {

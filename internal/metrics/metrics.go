@@ -8,6 +8,8 @@ import (
 	"math"
 	"sort"
 	"strings"
+
+	"costest/internal/tensor"
 )
 
 // QError returns max(est,truth)/min(est,truth) with both values floored at 1.
@@ -39,10 +41,7 @@ func Summarize(errs []float64) Summary {
 	sorted := make([]float64, len(errs))
 	copy(sorted, errs)
 	sort.Float64s(sorted)
-	var sum float64
-	for _, e := range sorted {
-		sum += e
-	}
+	sum := tensor.Sum(sorted)
 	return Summary{
 		Median: Percentile(sorted, 50),
 		P90:    Percentile(sorted, 90),

@@ -28,6 +28,8 @@ func NewAdam(lr float64) *Adam {
 // bit-unchanged), so skipping preserves bit-identical training while
 // leaving never-trained parameters (e.g. the unused head of a single-task
 // model) clean for delta consumers.
+//
+// costlint:noalloc
 func (a *Adam) Step(ps *ParamSet) {
 	a.steps++
 	bc1 := 1 - math.Pow(a.Beta1, float64(a.steps))

@@ -165,9 +165,7 @@ func (ps *ParamSet) ZeroGrad() {
 func (ps *ParamSet) GradNorm() float64 {
 	var s float64
 	for _, p := range ps.params {
-		for _, g := range p.Grad {
-			s += g * g
-		}
+		s += tensor.Dot(p.Grad, p.Grad)
 	}
 	return math.Sqrt(s)
 }

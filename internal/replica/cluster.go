@@ -12,17 +12,9 @@ import (
 	"costest/internal/feature"
 )
 
-// Fault-injection sites on the liveness machinery (see internal/fault).
-const (
-	// SiteLeaseRenew fires on every lease renewal on a follower; an error
-	// rule suppresses the renewal, aging the lease as if the primary had
-	// gone silent (forces spurious promotion pressure).
-	SiteLeaseRenew = "replica.lease.renew"
-	// SiteLeasePromote fires when a Member's lease lapses and it is about
-	// to promote; an error rule aborts that promotion attempt (the member
-	// keeps following and retries on the next lapse check).
-	SiteLeasePromote = "replica.lease.promote"
-)
+// Fault-injection sites on the liveness machinery live in the central
+// registry (internal/fault/sites.go): fault.SiteReplicaLeaseRenew and
+// fault.SiteReplicaLeasePromote.
 
 // MemberState is a cluster member's role in the epoch/lease state machine.
 type MemberState int32
@@ -211,7 +203,7 @@ func (m *Member) Run(ctx context.Context) {
 func (m *Member) onLeaseExpired() bool {
 	start := time.Now()
 	m.state.Store(int32(StatePromoting))
-	if err := fault.Point(SiteLeasePromote); err != nil {
+	if err := fault.Point(fault.SiteReplicaLeasePromote); err != nil {
 		m.abortedPromos.Add(1)
 		m.state.Store(int32(StateFollowing))
 		m.cfg.Logf("replica: promotion aborted by injected fault: %v", err)

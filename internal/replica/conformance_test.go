@@ -54,7 +54,7 @@ func TestReplicationConformance(t *testing.T) {
 	// corrupted, one in five delayed. Corrupt frames must be caught by
 	// checksum and healed by snapshot resync; they must never reach a model.
 	inj, err := fault.ParseSpec(
-		SiteSendCorrupt+":error:p=0.25;"+SiteSend+":latency:p=0.2:delay=200us", 42)
+		fault.SiteReplicaSendCorrupt+":error:p=0.25;"+fault.SiteReplicaSend+":latency:p=0.2:delay=200us", 42)
 	if err != nil {
 		t.Fatalf("fault spec: %v", err)
 	}

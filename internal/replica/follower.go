@@ -237,7 +237,7 @@ func (f *Follower) Run(ctx context.Context) {
 
 // checkLease reports whether the primary lease has lapsed AND the expiry
 // callback promoted this replica (Run must stop). Renewal bookkeeping is
-// fault-gated at SiteLeaseRenew, so chaos tests can starve the lease.
+// fault-gated at fault.SiteReplicaLeaseRenew, so chaos tests can starve the lease.
 func (f *Follower) checkLease() bool {
 	if f.cfg.Lease <= 0 || f.cfg.OnLeaseExpired == nil {
 		return false
@@ -250,11 +250,11 @@ func (f *Follower) checkLease() bool {
 	return f.cfg.OnLeaseExpired()
 }
 
-// renewLease stamps the primary as live now. Gated by the SiteLeaseRenew
+// renewLease stamps the primary as live now. Gated by the fault.SiteReplicaLeaseRenew
 // fault site: an injected error suppresses the renewal, so the lease ages
 // as if the primary had gone silent.
 func (f *Follower) renewLease() {
-	if fault.Point(SiteLeaseRenew) != nil {
+	if fault.Point(fault.SiteReplicaLeaseRenew) != nil {
 		return
 	}
 	f.lastRenew.Store(time.Now().UnixNano())
@@ -334,7 +334,7 @@ func (f *Follower) session(ctx context.Context, nc net.Conn, addr string) (appli
 			case <-hbStop:
 				return
 			case <-t.C:
-				if fault.Point(SiteHeartbeatSend) != nil {
+				if fault.Point(fault.SiteReplicaHeartbeatSend) != nil {
 					continue // injected heartbeat suppression
 				}
 				if !f.send(nc, FrameHeartbeat, f.gen.Load(), nil) {
@@ -352,7 +352,7 @@ func (f *Follower) session(ctx context.Context, nc net.Conn, addr string) (appli
 
 	fr := NewFrameReader(bufio.NewReaderSize(nc, 64<<10))
 	for {
-		if err := fault.Point(SiteRecv); err != nil {
+		if err := fault.Point(fault.SiteReplicaRecv); err != nil {
 			f.cfg.Logf("replica: injected receive fault: %v", err)
 			return applied
 		}
@@ -389,7 +389,7 @@ func (f *Follower) session(ctx context.Context, nc net.Conn, addr string) (appli
 		}
 		switch fm.Type {
 		case FrameHeartbeat:
-			if fault.Point(SiteHeartbeatRecv) != nil {
+			if fault.Point(fault.SiteReplicaHeartbeatRecv) != nil {
 				continue // injected: drop the heartbeat, lease not renewed
 			}
 			f.heartbeatsIn.Add(1)
@@ -425,17 +425,20 @@ func (f *Follower) session(ctx context.Context, nc net.Conn, addr string) (appli
 	}
 }
 
-// applyAndAck applies a validated frame into the local model, republishes it
-// through the local Server, and acknowledges the generation. A payload that
-// fails validation despite an intact checksum is a protocol bug — the
-// session drops so the reconnect handshake renegotiates from a snapshot.
-func (f *Follower) applyAndAck(nc net.Conn, fm Frame, full bool) bool {
+// applyFrame is the warm apply core: decode the payload into the local
+// model, republish it through the local Server, and record the generation.
+// This is the follower half of the apply→PublishDelta round trip whose
+// steady state the AllocsPerRun conformance test pins at zero; the ready
+// signalling and ack I/O live in applyAndAck so this body stays
+// allocation-free.
+//
+// costlint:noalloc
+func (f *Follower) applyFrame(fm Frame, full bool) error {
 	start := time.Now()
 	touched, err := ApplyModelPayload(f.cfg.Model, fm.Payload, full, f.touched)
 	f.touched = touched
 	if err != nil {
-		f.cfg.Logf("replica: %s frame for generation %d failed to apply: %v", fm.Type, fm.Gen, err)
-		return false
+		return err
 	}
 	f.cfg.Model.PS.MarkParamsUpdated(touched)
 	snap := f.cfg.Server.PublishDelta(f.cfg.Model)
@@ -446,6 +449,18 @@ func (f *Follower) applyAndAck(nc net.Conn, fm Frame, full bool) bool {
 		f.snapshots.Add(1)
 	} else {
 		f.deltas.Add(1)
+	}
+	return nil
+}
+
+// applyAndAck applies a validated frame into the local model, republishes it
+// through the local Server, and acknowledges the generation. A payload that
+// fails validation despite an intact checksum is a protocol bug — the
+// session drops so the reconnect handshake renegotiates from a snapshot.
+func (f *Follower) applyAndAck(nc net.Conn, fm Frame, full bool) bool {
+	if err := f.applyFrame(fm, full); err != nil {
+		f.cfg.Logf("replica: %s frame for generation %d failed to apply: %v", fm.Type, fm.Gen, err)
+		return false
 	}
 	f.readyOnce.Do(func() { close(f.ready) })
 	if !f.send(nc, FrameAck, fm.Gen, nil) {

@@ -253,6 +253,8 @@ const normsSize = 4 * 8
 // normalizers and the parameters at the given indices (all of them for a
 // snapshot, the dirty subset for a delta). Caller guarantees m's weights are
 // quiesced (the publish-hook contract).
+//
+// costlint:noalloc
 func AppendModelPayload(dst []byte, m *core.Model, idx []int) []byte {
 	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(m.CostNorm.MinLog))
 	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(m.CostNorm.MaxLog))
@@ -282,6 +284,8 @@ func AppendModelPayload(dst []byte, m *core.Model, idx []int) []byte {
 // touched is a reusable scratch slice; the returned slice holds the
 // parameters written, ready for nn.ParamSet.MarkParamsUpdated. The warm
 // path performs zero heap allocations.
+//
+// costlint:noalloc
 func ApplyModelPayload(m *core.Model, payload []byte, requireFull bool, touched []*nn.Param) ([]*nn.Param, error) {
 	params := m.PS.Params()
 	if len(payload) < normsSize+4 {

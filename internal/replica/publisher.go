@@ -14,27 +14,13 @@ import (
 	"costest/internal/fault"
 )
 
-// Fault-injection sites on the replication link (see internal/fault). The
-// corrupt site is interpreted by the sender as "flip bytes in a private copy
-// of the frame before writing" — the follower must reject it by checksum.
-const (
-	// SiteSend fires before every frame write on the primary; latency rules
-	// delay the stream, error rules kill the connection.
-	SiteSend = "replica.send"
-	// SiteSendCorrupt fires before every frame write; an error rule makes
-	// the primary transmit a deliberately corrupted copy of the frame.
-	SiteSendCorrupt = "replica.send.corrupt"
-	// SiteRecv fires before every frame decode on the follower; latency
-	// rules delay apply, error rules drop the connection (reconnect path).
-	SiteRecv = "replica.recv"
-	// SiteHeartbeatSend fires before every heartbeat write (both sides);
-	// an error rule suppresses the heartbeat, so peers see silence and
-	// deadlines/leases expire as they would under a real stall.
-	SiteHeartbeatSend = "replica.heartbeat.send"
-	// SiteHeartbeatRecv fires when a follower receives a primary heartbeat;
-	// an error rule makes the follower ignore it (lease not renewed).
-	SiteHeartbeatRecv = "replica.heartbeat.recv"
-)
+// Fault-injection sites on the replication link live in the central
+// registry (internal/fault/sites.go, enforced by the costlint faultsite
+// analyzer): fault.SiteReplicaSend, fault.SiteReplicaSendCorrupt,
+// fault.SiteReplicaRecv, fault.SiteReplicaHeartbeatSend and
+// fault.SiteReplicaHeartbeatRecv. The corrupt site is interpreted by the
+// sender as "flip bytes in a private copy of the frame before writing" —
+// the follower must reject it by checksum.
 
 // DefaultEpoch is the epoch a zero PublisherConfig publishes under — the
 // boot primary's epoch. A promoting Member always seeds its epoch strictly
@@ -522,7 +508,7 @@ func (p *Publisher) writeLoop(c *pubConn) {
 			}
 			c.framesSent.Add(1)
 		case <-hb.C:
-			if fault.Point(SiteHeartbeatSend) != nil {
+			if fault.Point(fault.SiteReplicaHeartbeatSend) != nil {
 				continue // injected heartbeat suppression: peer sees silence
 			}
 			c.hbOut = AppendFrame(c.hbOut[:0], FrameHeartbeat, p.cfg.Epoch, p.genA.Load(), 0, nil)
@@ -539,10 +525,10 @@ func (p *Publisher) writeLoop(c *pubConn) {
 }
 
 func (p *Publisher) writeFrame(c *pubConn, b []byte) error {
-	if err := fault.Point(SiteSend); err != nil {
+	if err := fault.Point(fault.SiteReplicaSend); err != nil {
 		return err
 	}
-	if fault.Point(SiteSendCorrupt) != nil {
+	if fault.Point(fault.SiteReplicaSendCorrupt) != nil {
 		// Transmit a corrupted copy: the shared frame bytes stay pristine
 		// (other followers send the same slice), the wire sees flipped bits
 		// mid-frame. Framing fields are intact, so the follower consumes the

@@ -228,6 +228,8 @@ func (s *Scheduler) Start() {
 //   - An admitted request always gets exactly one answer. If ctx expires
 //     before its batch dispatches, that answer is ctx's error; an admitted
 //     request is never silently served late or dropped.
+//
+// costlint:noalloc
 func (s *Scheduler) Submit(ctx context.Context, ep *feature.EncodedPlan) (Result, error) {
 	r := s.reqPool.Get().(*request)
 	r.ctx, r.ep = ctx, ep
@@ -264,6 +266,8 @@ func (s *Scheduler) Submit(ctx context.Context, ep *feature.EncodedPlan) (Result
 // putRequest recycles a request whose done channel is known empty (never
 // admitted, or admitted and already answered). References are cleared so a
 // pooled request does not retain its caller's context or plan.
+//
+// costlint:noalloc
 func (s *Scheduler) putRequest(r *request) {
 	r.ctx, r.ep = nil, nil
 	s.reqPool.Put(r)
@@ -517,7 +521,7 @@ func (s *Scheduler) estimateBatch(eps []*feature.EncodedPlan) (ests []core.Estim
 			ests, snap, err = nil, nil, fmt.Errorf("serve: estimator panic: %v", p)
 		}
 	}()
-	if err := fault.Point("serve.batch"); err != nil {
+	if err := fault.Point(fault.SiteServeBatch); err != nil {
 		return nil, nil, err
 	}
 	snap = s.srv.AcquireSnapshot()

@@ -4,6 +4,8 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+
+	"costest/internal/tensor"
 )
 
 // SkipGramConfig controls word2vec training (Mikolov-style skip-gram with
@@ -133,12 +135,11 @@ func tokenIDs(sent []string, vocab map[string]int, maxLen int) []int {
 func buildNegTable(words []string, counts map[string]int) []int32 {
 	const tableSize = 1 << 16
 	table := make([]int32, 0, tableSize)
-	var total float64
 	pows := make([]float64, len(words))
 	for i, w := range words {
 		pows[i] = math.Pow(float64(counts[w]), 0.75)
-		total += pows[i]
 	}
+	total := tensor.Sum(pows)
 	for i := range words {
 		n := int(pows[i] / total * tableSize)
 		if n < 1 {
@@ -170,11 +171,7 @@ func trainPair(center []float64, out [][]float64, ctx int, negTable []int32,
 			label = 0
 		}
 		o := out[target]
-		var dot float64
-		for i := range center {
-			dot += center[i] * o[i]
-		}
-		g := (label - sigmoid(dot)) * lr
+		g := (label - sigmoid(tensor.Dot(center, o))) * lr
 		for i := range center {
 			grad[i] += g * o[i]
 			o[i] += g * center[i]
@@ -202,12 +199,9 @@ func (s *SkipGram) Similarity(a, b string) float64 {
 	if va == nil || vb == nil {
 		return 0
 	}
-	var dot, na, nb float64
-	for i := range va {
-		dot += va[i] * vb[i]
-		na += va[i] * va[i]
-		nb += vb[i] * vb[i]
-	}
+	dot := tensor.Dot(va, vb)
+	na := tensor.Dot(va, va)
+	nb := tensor.Dot(vb, vb)
 	if na == 0 || nb == 0 {
 		return 0
 	}

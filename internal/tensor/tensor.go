@@ -80,6 +80,8 @@ func (m *Mat) KaimingInit(rng *rand.Rand) {
 // row quad, with one sequential accumulator chain per row (dotKernel's
 // canonical order — remainder rows call it directly), so every output
 // element is bit-identical to a plain dotKernel over its row.
+//
+// costlint:noalloc
 func MatVec(dst Vec, m *Mat, x Vec) {
 	if len(dst) != m.Rows || len(x) != m.Cols {
 		panic(fmt.Sprintf("tensor: MatVec shape mismatch: m %dx%d, x %d, dst %d", m.Rows, m.Cols, len(x), len(dst)))
@@ -114,6 +116,8 @@ func MatVec(dst Vec, m *Mat, x Vec) {
 // sequential order so gate pre-activations match the batch path's GEMM
 // (gateRun) bit for bit. This is the LSTM-style cell's gate kernel — the
 // four gate weight matrices share the input [R_{t-1}, x].
+//
+// costlint:noalloc
 func MatVec4(d0, d1, d2, d3 Vec, m0, m1, m2, m3 *Mat, x Vec) {
 	rows, cols := m0.Rows, m0.Cols
 	if m1.Rows != rows || m2.Rows != rows || m3.Rows != rows ||
@@ -184,6 +188,8 @@ func AddOuter(dst *Mat, a, b Vec) {
 }
 
 // AddTo computes dst += src elementwise.
+//
+// costlint:noalloc
 func AddTo(dst, src Vec) {
 	if len(dst) != len(src) {
 		panic(fmt.Sprintf("tensor: AddTo length mismatch %d vs %d", len(dst), len(src)))
@@ -212,6 +218,8 @@ func AddScaled(dst Vec, alpha float64, src Vec) {
 // shared optimizer state in fixed shard order, which is what makes training
 // results invariant under the worker count. Sources are streamed in pairs so
 // each destination element is loaded once per source pair.
+//
+// costlint:noalloc
 func AddVecsInto(dst Vec, srcs ...Vec) {
 	for _, s := range srcs {
 		if len(s) != len(dst) {
@@ -265,6 +273,8 @@ func ZeroVec(v Vec) {
 }
 
 // Dot returns the inner product of a and b.
+//
+// costlint:noalloc
 func Dot(a, b Vec) float64 {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("tensor: Dot length mismatch %d vs %d", len(a), len(b)))
@@ -288,6 +298,8 @@ func Dot(a, b Vec) float64 {
 // hot-swap serving tests replay any served estimate single-threaded and
 // compare bit for bit. Do not "optimize" this into multiple accumulator
 // chains without restructuring every blocked kernel to match.
+//
+// costlint:noalloc
 func dotKernel(a, b Vec) float64 {
 	b = b[:len(a)]
 	var s float64
@@ -297,7 +309,24 @@ func dotKernel(a, b Vec) float64 {
 	return s
 }
 
+// Sum returns the sum of the elements of v, accumulated in strictly
+// ascending index order — the same canonical single-chain order as
+// dotKernel. Complete float64 reductions outside this package must route
+// through Sum (or Dot) so that one accumulation order governs every
+// order-sensitive result; the canonicaldot analyzer enforces this.
+//
+// costlint:noalloc
+func Sum(v Vec) float64 {
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
 // axpyKernel computes y += alpha*x with a 4-way unrolled loop.
+//
+// costlint:noalloc
 func axpyKernel(alpha float64, x, y Vec) {
 	y = y[:len(x)]
 	n := len(x) &^ 3

@@ -56,6 +56,7 @@ require_section PERFORMANCE.md "Networked estimator daemon"
 require_section PERFORMANCE.md "Fault tolerance layer"
 require_section PERFORMANCE.md "Scale-out replication"
 require_section ARCHITECTURE.md "Runtime layers"
+require_section ARCHITECTURE.md "Static-analysis layer"
 require_section ARCHITECTURE.md "Networked serving"
 require_section ARCHITECTURE.md "Fault tolerance"
 require_section ARCHITECTURE.md "Scale-out replication"

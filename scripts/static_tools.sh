@@ -1,0 +1,51 @@
+#!/bin/sh
+# Run third-party static analyzers where they are available.
+#
+# staticcheck and govulncheck are not vendored and this project must build
+# in offline containers, so the tools are install-gated: locally they run
+# only if already on PATH (or under $(go env GOPATH)/bin); CI installs both
+# with network access and runs this script as a dedicated job. A missing
+# tool is reported and skipped, never a failure — the blocking gate is
+# costlint, which is built from the tree itself.
+#
+# Usage: scripts/static_tools.sh [--require]
+#   --require   fail (exit 2) if a tool is missing instead of skipping it —
+#               what CI uses, so an install regression cannot silently turn
+#               the job into a no-op.
+set -u
+
+require=0
+[ "${1:-}" = "--require" ] && require=1
+
+gobin="$(go env GOPATH)/bin"
+status=0
+missing=0
+
+run_tool() {
+    name="$1"
+    shift
+    tool="$name"
+    if ! command -v "$tool" >/dev/null 2>&1; then
+        if [ -x "$gobin/$name" ]; then
+            tool="$gobin/$name"
+        else
+            echo "static_tools: $name not installed; skipping (install: go install $2@latest)"
+            missing=1
+            return
+        fi
+    fi
+    echo "static_tools: running $name"
+    if ! "$tool" "$1"; then
+        echo "static_tools: $name reported findings"
+        status=1
+    fi
+}
+
+run_tool staticcheck ./... honnef.co/go/tools/cmd/staticcheck
+run_tool govulncheck ./... golang.org/x/vuln/cmd/govulncheck
+
+if [ "$require" = 1 ] && [ "$missing" = 1 ]; then
+    echo "static_tools: --require set and at least one tool is missing"
+    exit 2
+fi
+exit "$status"
